@@ -1,0 +1,37 @@
+"""Ablation: windowed vs cumulative assessment statistics.
+
+The paper's assessment phases have explicit ends (statistics are read and a
+new window begins).  The alternative — letting the heavy-hitter sketches
+accumulate across tuning rounds — reacts more slowly to drift but tunes
+with less churn.  This ablation runs AMRI both ways over identical
+arrivals.
+"""
+
+from benchmarks.conftest import BENCH_TICKS, run_once
+from repro.experiments.harness import train_initial_state
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+
+def run_mode(reset_after_tune: bool):
+    scenario = PaperScenario(ScenarioParams(seed=7))
+    training = train_initial_state(scenario, train_ticks=60)
+    executor = scenario.make_executor(
+        "amri:cdia-highest", initial_configs=training.configs
+    )
+    for stem in executor.stems.values():
+        stem.tuner.reset_after_tune = reset_after_tune
+    return executor.run(BENCH_TICKS, scenario.make_generator())
+
+
+def test_windowed_vs_cumulative(benchmark):
+    def compare():
+        return run_mode(True), run_mode(False)
+
+    windowed, cumulative = run_once(benchmark, compare)
+    benchmark.extra_info["windowed_outputs"] = windowed.outputs
+    benchmark.extra_info["windowed_migrations"] = windowed.migrations
+    benchmark.extra_info["cumulative_outputs"] = cumulative.outputs
+    benchmark.extra_info["cumulative_migrations"] = cumulative.migrations
+    # Windowed statistics chase the current regime: strictly more migrations.
+    assert windowed.migrations >= cumulative.migrations
+    assert windowed.completed and cumulative.completed

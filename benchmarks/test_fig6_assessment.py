@@ -1,0 +1,47 @@
+"""Figure 6 (assessment methods): throughput of SRIA/CSRIA/DIA/CDIA tuning.
+
+Paper claims: CDIA-highest outperforms DIA and SRIA by ~19% and CSRIA by
+~30%; DIA's and SRIA's results are exactly equal (shared code path, no
+compaction).  At benchmark scale we regenerate the per-method runs, record
+cumulative throughput as ``extra_info``, and assert the structural facts
+that must hold at any scale (every tuner migrates, every run completes,
+DIA == SRIA).  The full-scale series is produced by
+``python -m repro.experiments.figures fig6``.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_TICKS, run_once
+from repro.experiments.harness import run_scheme
+
+SCHEMES = ["amri:sria", "amri:csria", "amri:dia", "amri:cdia-random", "amri:cdia-highest"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig6_assessment_method(benchmark, bench_scenario, bench_training, scheme):
+    stats = run_once(
+        benchmark,
+        lambda: run_scheme(bench_scenario, scheme, BENCH_TICKS, training=bench_training),
+    )
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["outputs"] = stats.outputs
+    benchmark.extra_info["migrations"] = stats.migrations
+    benchmark.extra_info["died_at"] = stats.died_at
+    # AMRI must survive and actually adapt, whatever the assessment method.
+    assert stats.completed
+    assert stats.outputs > 0
+    assert stats.migrations > 0
+
+
+def test_fig6_dia_equals_sria(benchmark, bench_scenario, bench_training):
+    """The paper's equality: DIA and SRIA share statistics, hence results."""
+
+    def both():
+        sria = run_scheme(bench_scenario, "amri:sria", BENCH_TICKS, training=bench_training)
+        dia = run_scheme(bench_scenario, "amri:dia", BENCH_TICKS, training=bench_training)
+        return sria, dia
+
+    sria, dia = run_once(benchmark, both)
+    assert sria.outputs == dia.outputs
+    assert sria.migrations == dia.migrations
+    assert [s.outputs for s in sria.samples] == [s.outputs for s in dia.samples]

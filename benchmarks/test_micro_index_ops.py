@@ -1,0 +1,203 @@
+"""Micro-benchmarks: wall-clock cost of the primitive index operations.
+
+These are true pytest-benchmark timings (many rounds) of the hot paths —
+insert, probe by access-pattern width, migration, assessment recording —
+for each index scheme.  They back the paper's qualitative maintenance-cost
+claims at the Python level and guard against performance regressions.
+"""
+
+import pytest
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.assessment import CDIA, CSRIA, SRIA
+from repro.core.bit_index import make_bit_index
+from repro.core.cost_model import WorkloadStatistics
+from repro.core.index_config import IndexConfiguration
+from repro.core.selector import select_exhaustive
+from repro.indexes.hash_index import MultiHashIndex
+from repro.indexes.scan_index import ScanIndex
+
+JAS = JoinAttributeSet(["A", "B", "C"])
+N_ITEMS = 2_000
+
+
+def make_items(n=N_ITEMS):
+    return [{"A": i % 251, "B": (i * 7) % 239, "C": (i * 13) % 241} for i in range(n)]
+
+
+def fresh_bit_index():
+    return make_bit_index(JAS, {"A": 8, "B": 8, "C": 8})
+
+
+def fresh_hash_index(k=3):
+    patterns = [
+        AccessPattern.from_attributes(JAS, ["A"]),
+        AccessPattern.from_attributes(JAS, ["A", "B"]),
+        AccessPattern.from_attributes(JAS, ["B", "C"]),
+    ][:k]
+    return MultiHashIndex(JAS, patterns)
+
+
+# --------------------------------------------------------------------- #
+# maintenance
+
+
+def test_bit_index_insert(benchmark):
+    items = make_items()
+
+    def build():
+        idx = fresh_bit_index()
+        for item in items:
+            idx.insert(item)
+        return idx
+
+    idx = benchmark(build)
+    assert idx.size == N_ITEMS
+
+
+def test_multi_hash_insert(benchmark):
+    items = make_items()
+
+    def build():
+        idx = fresh_hash_index()
+        for item in items:
+            idx.insert(item)
+        return idx
+
+    idx = benchmark(build)
+    assert idx.size == N_ITEMS
+
+
+def test_bit_index_expiry(benchmark):
+    items = make_items()
+
+    def cycle():
+        idx = fresh_bit_index()
+        for item in items:
+            idx.insert(item)
+        for item in items:
+            idx.remove(item)
+        return idx
+
+    idx = benchmark(cycle)
+    assert idx.size == 0 and idx.memory_bytes == 0
+
+
+# --------------------------------------------------------------------- #
+# search, by access-pattern width
+
+
+@pytest.mark.parametrize("n_attrs", [1, 2, 3])
+def test_bit_index_probe(benchmark, n_attrs):
+    idx = fresh_bit_index()
+    for item in make_items():
+        idx.insert(item)
+    ap = AccessPattern.from_attributes(JAS, ["A", "B", "C"][:n_attrs])
+    values = {"A": 5, "B": 7, "C": 13}
+
+    out = benchmark(lambda: idx.search(ap, values))
+    assert out.tuples_examined <= idx.size
+
+
+@pytest.mark.parametrize("n_attrs", [1, 2, 3])
+def test_multi_hash_probe(benchmark, n_attrs):
+    idx = fresh_hash_index()
+    for item in make_items():
+        idx.insert(item)
+    ap = AccessPattern.from_attributes(JAS, ["A", "B", "C"][:n_attrs])
+    values = {"A": 5, "B": 7, "C": 13}
+
+    out = benchmark(lambda: idx.search(ap, values))
+    assert out.tuples_examined <= idx.size
+
+
+def test_scan_probe(benchmark):
+    idx = ScanIndex(JAS)
+    for item in make_items():
+        idx.insert(item)
+    ap = AccessPattern.from_attributes(JAS, ["A"])
+
+    out = benchmark(lambda: idx.search(ap, {"A": 5}))
+    assert out.tuples_examined == idx.size
+
+
+# --------------------------------------------------------------------- #
+# adaptation
+
+
+def test_bit_index_migration(benchmark):
+    items = make_items()
+    target_a = IndexConfiguration(JAS, {"A": 10, "B": 3})
+    target_b = IndexConfiguration(JAS, {"B": 8, "C": 8})
+
+    idx = fresh_bit_index()
+    for item in items:
+        idx.insert(item)
+    state = {"flip": False}
+
+    def migrate():
+        state["flip"] = not state["flip"]
+        return idx.reconfigure(target_a if state["flip"] else target_b)
+
+    report = benchmark(migrate)
+    assert report.tuples_moved == N_ITEMS
+
+
+def test_multi_hash_retune(benchmark):
+    idx = fresh_hash_index()
+    for item in make_items():
+        idx.insert(item)
+    set_a = [AccessPattern.from_attributes(JAS, ["C"])]
+    set_b = [AccessPattern.from_attributes(JAS, ["A", "C"])]
+    state = {"flip": False}
+
+    def retune():
+        state["flip"] = not state["flip"]
+        idx.set_patterns(set_a if state["flip"] else set_b)
+
+    benchmark(retune)
+    assert idx.module_count == 1
+
+
+# --------------------------------------------------------------------- #
+# assessment
+
+PATTERN_CYCLE = [AccessPattern.from_mask(JAS, 1 + (i % 7)) for i in range(1000)]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda: SRIA(JAS), id="sria"),
+        pytest.param(lambda: CSRIA(JAS, 0.05), id="csria"),
+        pytest.param(lambda: CDIA(JAS, 0.05, combine="highest_count"), id="cdia-highest"),
+        pytest.param(lambda: CDIA(JAS, 0.05, combine="random"), id="cdia-random"),
+    ],
+)
+def test_assessor_record_throughput(benchmark, factory):
+    def record_all():
+        assessor = factory()
+        for ap in PATTERN_CYCLE:
+            assessor.record(ap)
+        return assessor
+
+    assessor = benchmark(record_all)
+    assert assessor.n_requests == len(PATTERN_CYCLE)
+
+
+def test_selector_exhaustive_64bit(benchmark):
+    """Full enumeration at the paper's 64-bit budget (domain-capped)."""
+    ap = AccessPattern.from_attributes
+    stats = WorkloadStatistics(
+        lambda_d=100,
+        lambda_r=100,
+        window=20,
+        frequencies={
+            ap(JAS, ["A"]): 0.3,
+            ap(JAS, ["A", "B"]): 0.3,
+            ap(JAS, ["B", "C"]): 0.4,
+        },
+        domain_bits={"A": 8, "B": 8, "C": 8},
+    )
+    best = benchmark(lambda: select_exhaustive(stats, JAS, 64))
+    assert best.total_bits <= 64

@@ -1,0 +1,66 @@
+"""Assessment methods side by side on a polluted, drifting pattern stream.
+
+Recreates the situation Section IV is about, outside the engine: a state
+with 5 join attributes (31 possible access patterns) receives search
+requests whose frequent patterns drift, polluted by the router's uniform
+exploration probes.  All four assessment methods watch the same stream;
+the script reports, per method:
+
+- peak statistics entries held (the memory the compaction saves),
+- the frequent patterns reported at θ = 10%,
+- how much workload mass those reports retain.
+
+Run:  python examples/assessment_comparison.py
+"""
+
+from repro.core import JoinAttributeSet, make_assessor
+from repro.core.assessment import ASSESSOR_NAMES
+from repro.workloads import (
+    PatternStream,
+    with_exploration_noise,
+    zipf_distribution,
+)
+
+THETA = 0.10
+EPSILON = 0.02
+N_REQUESTS = 8_000
+
+
+def build_stream(jas, seed=0):
+    hot_early = with_exploration_noise(zipf_distribution(jas, s=1.6, seed=seed), jas, 0.3)
+    hot_late = with_exploration_noise(zipf_distribution(jas, s=1.6, seed=seed + 7), jas, 0.3)
+    return PatternStream(
+        [(N_REQUESTS // 2, hot_early), (N_REQUESTS // 2, hot_late)], seed=seed
+    )
+
+
+def main() -> None:
+    jas = JoinAttributeSet(["A", "B", "C", "D", "E"])
+    print(f"state with {len(jas)} join attributes -> {2**len(jas) - 1} possible patterns")
+    print(f"workload: {N_REQUESTS} requests, drifting Zipf + 30% exploration noise\n")
+
+    for name in ASSESSOR_NAMES:
+        assessor = make_assessor(name, jas, epsilon=EPSILON, seed=1)
+        peak = 0
+        for ap in build_stream(jas):
+            assessor.record(ap)
+            peak = max(peak, assessor.entry_count)
+        frequent = assessor.frequent_patterns(THETA)
+        mass = sum(frequent.values())
+        tops = sorted(frequent.items(), key=lambda kv: -kv[1])[:3]
+        top_str = ", ".join(f"{ap!r}:{f:.0%}" for ap, f in tops)
+        print(
+            f"{name:13s} peak entries {peak:3d}   "
+            f"frequent@{THETA:.0%}: {len(frequent):2d} patterns "
+            f"({mass:.0%} of mass)   top: {top_str}"
+        )
+
+    print(
+        "\nreading: SRIA/DIA hold every observed pattern; CSRIA holds the "
+        "lossy-counting bound and deletes tail mass; CDIA holds lattice nodes "
+        "and re-routes tail mass into generalizations instead of deleting it."
+    )
+
+
+if __name__ == "__main__":
+    main()

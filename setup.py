@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so the package can be
+installed editable (`pip install -e . --no-use-pep517 --no-build-isolation`)
+in offline environments that lack the `wheel` package required by PEP-517
+editable builds.
+"""
+
+from setuptools import setup
+
+setup()

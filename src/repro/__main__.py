@@ -1,0 +1,30 @@
+"""``python -m repro`` — package banner and entry-point directory."""
+
+import sys
+
+from repro import __version__
+
+BANNER = f"""repro {__version__} — AMRI: Index Tuning for Adaptive Multi-Route Data Stream Systems
+(reproduction of Works, Rundensteiner, Agu; IPPS 2010)
+
+entry points:
+  python -m repro.experiments.figures <fig6|fig6-hash|fig7|table2|all>
+      regenerate the paper's figures/tables (ASCII series)
+  python -m repro.experiments.run --schemes amri:cdia-highest,static --csv out/
+      run any scheme comparison, export CSV
+  examples/quickstart.py | package_tracking.py | stock_monitoring.py |
+  sensor_network.py | assessment_comparison.py | diagnostics_tour.py
+
+tests:       pytest tests/
+benchmarks:  pytest benchmarks/ --benchmark-only
+docs:        README.md, DESIGN.md, EXPERIMENTS.md
+"""
+
+
+def main() -> int:
+    print(BANNER)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The four index assessment methods of Section IV.
+
+- :class:`SRIA` — exact, self-reliant statistics (the naive baseline).
+- :class:`CSRIA` — SRIA + lossy-counting compaction (deletes statistics).
+- :class:`DIA` — SRIA statistics organised as the search-benefit lattice.
+- :class:`CDIA` — DIA + hierarchical-heavy-hitter compaction (combines
+  statistics into more general patterns instead of deleting them), with
+  ``random`` and ``highest_count`` combination strategies.
+
+:func:`make_assessor` builds any of them from a config string, which is how
+experiment harnesses and benchmarks select methods.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_pattern import JoinAttributeSet
+from repro.core.assessment.base import FrequencyAssessor
+from repro.core.assessment.cdia import CDIA
+from repro.core.assessment.csria import CSRIA
+from repro.core.assessment.dia import DIA
+from repro.core.assessment.sria import SRIA, SRIATable
+
+ASSESSOR_NAMES = ("sria", "csria", "dia", "cdia-random", "cdia-highest")
+
+
+def make_assessor(
+    name: str,
+    jas: JoinAttributeSet,
+    *,
+    epsilon: float = 0.05,
+    seed: int = 0,
+) -> FrequencyAssessor:
+    """Build an assessor by name.
+
+    ``name`` is one of ``sria``, ``csria``, ``dia``, ``cdia-random``,
+    ``cdia-highest``.  ``epsilon`` and ``seed`` are consulted only by the
+    compacting methods.
+    """
+    key = name.lower()
+    if key == "sria":
+        return SRIA(jas)
+    if key == "csria":
+        return CSRIA(jas, epsilon)
+    if key == "dia":
+        return DIA(jas)
+    if key == "cdia-random":
+        return CDIA(jas, epsilon, combine="random", seed=seed)
+    if key in ("cdia-highest", "cdia-highest-count", "cdia"):
+        return CDIA(jas, epsilon, combine="highest_count", seed=seed)
+    raise ValueError(f"unknown assessor {name!r}; expected one of {ASSESSOR_NAMES}")
+
+
+__all__ = [
+    "ASSESSOR_NAMES",
+    "CDIA",
+    "CSRIA",
+    "DIA",
+    "FrequencyAssessor",
+    "SRIA",
+    "SRIATable",
+    "make_assessor",
+]

@@ -1,0 +1,78 @@
+"""CSRIA — Compact Self Reliant Index Assessment (Section IV-C2).
+
+SRIA with lossy-counting compaction (modelled after Manku & Motwani, paper
+ref. [12]): requests are processed in segments of ``ceil(1/epsilon)``; at
+each segment boundary any entry whose ``count + delta`` falls below the
+current segment id is **deleted**.  The final answer contains every pattern
+whose ``f_ap + delta`` clears ``theta - epsilon``.
+
+Guarantees (from lossy counting): every pattern with true frequency
+``>= theta`` is reported; nothing below ``theta - epsilon`` is; at most
+``(1/epsilon) * log(epsilon * N)`` entries are stored.
+
+The method's documented weakness (the Table II discussion): statistics are
+deleted *independently*, so several related patterns each below θ — which
+would jointly justify an index on their shared attributes — all vanish.
+CDIA fixes this by combining instead of deleting.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.assessment.base import FrequencyAssessor
+from repro.sketches.lossy_counting import LossyCounting
+from repro.utils.validation import check_fraction
+
+
+class CSRIA(FrequencyAssessor):
+    """Compacted SRIA: access-pattern lossy counting keyed by ``BR(ap)``.
+
+    Parameters
+    ----------
+    jas:
+        The state's join-attribute set.
+    epsilon:
+        Maximum frequency error; segment width is ``ceil(1/epsilon)``.
+    """
+
+    def __init__(self, jas: JoinAttributeSet, epsilon: float) -> None:
+        super().__init__(jas)
+        self.epsilon = epsilon
+        self._sketch = LossyCounting(epsilon)
+
+    def _record(self, ap: AccessPattern) -> None:
+        self._sketch.offer(ap.mask)
+
+    def frequent_patterns(self, theta: float) -> dict[AccessPattern, float]:
+        check_fraction("theta", theta)
+        return {
+            AccessPattern(self.jas, mask): freq
+            for mask, freq in self._sketch.frequent_items(theta).items()
+        }
+
+    def frequencies(self) -> dict[AccessPattern, float]:
+        n = self._n_requests
+        if n == 0:
+            return {}
+        return {
+            AccessPattern(self.jas, mask): entry.count / n
+            for mask, entry in self._sketch.entries().items()
+        }
+
+    def max_error(self, ap: AccessPattern) -> int:
+        """The tracked entry's ``delta`` (0 if the pattern is not tracked)."""
+        entry = self._sketch.entries().get(ap.mask)
+        return entry.delta if entry is not None else 0
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._sketch)
+
+    @property
+    def current_segment_id(self) -> int:
+        """The compaction segment currently being filled (``s_id``)."""
+        return self._sketch.current_segment_id
+
+    def reset(self) -> None:
+        self._sketch = LossyCounting(self.epsilon)
+        self._n_requests = 0

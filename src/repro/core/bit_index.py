@@ -1,0 +1,263 @@
+"""The AMRI bit-address index (Section III, Figure 3).
+
+One compact index serves every access pattern over a state's JAS.  The index
+key map (:class:`~repro.core.index_config.IndexConfiguration`) assigns each
+join attribute some bits; a tuple lives in the bucket named by the
+concatenation of its per-attribute fragments.  Nothing is stored *on* the
+tuple — adapting the index relocates tuples between buckets but never touches
+per-tuple key material, which is what makes migration and maintenance cheap
+relative to multi-hash-index access modules.
+
+Implementation notes
+--------------------
+With a 64-bit configuration the ``2**64`` logical buckets cannot be
+materialised, so buckets live in a dict keyed by the per-attribute fragment
+tuple, and a per-attribute inverted map (fragment → live bucket keys) lets a
+wildcard search intersect only the attributes it actually specifies.  The
+accountant is still charged the price a real bit-address index pays —
+``min(2**wildcard_bits, live buckets)`` bucket visits plus one examination
+per tuple in each matching bucket — so the performance economics of the paper
+are preserved even though the Python implementation never enumerates
+wildcard bucket ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.index_config import IndexConfiguration, ValueMapper
+from repro.indexes.base import Accountant, CostParams, SearchOutcome, StateIndex
+
+BucketKey = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one index migration (``IC1 -> IC2``) did and cost."""
+
+    old_config: IndexConfiguration
+    new_config: IndexConfiguration
+    tuples_moved: int
+    hashes: int
+
+
+class BitAddressIndex(StateIndex):
+    """A single adaptable bit-address index over one state.
+
+    Parameters
+    ----------
+    config:
+        The initial index key map.
+    accountant:
+        Shared cost/memory tally; a fresh one is created if omitted.
+    value_mapper:
+        Optional value→fragment strategy (see
+        :mod:`repro.core.value_mapping`); defaults to hash fragmentation.
+    """
+
+    def __init__(
+        self,
+        config: IndexConfiguration,
+        accountant: Accountant | None = None,
+        cost_params: "CostParams | None" = None,
+        value_mapper: "ValueMapper | None" = None,
+    ) -> None:
+        super().__init__(config.jas, accountant, cost_params)
+        self._config = config
+        self.value_mapper = value_mapper
+        self._buckets: dict[BucketKey, dict[int, Mapping[str, object]]] = {}
+        # One inverted map per JAS attribute position; only positions with
+        # bits assigned are maintained (others would map everything to 0).
+        self._frag_maps: dict[int, dict[int, set[BucketKey]]] = {}
+        self._item_keys: dict[int, BucketKey] = {}
+        self._size = 0
+        self._rebuild_frag_positions()
+
+    # ------------------------------------------------------------------ #
+    # configuration
+
+    @property
+    def config(self) -> IndexConfiguration:
+        """The current index key map."""
+        return self._config
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of live (non-empty) buckets."""
+        return len(self._buckets)
+
+    def bucket_sizes(self) -> list[int]:
+        """Sizes of all live buckets (for distribution diagnostics)."""
+        return [len(b) for b in self._buckets.values()]
+
+    def _rebuild_frag_positions(self) -> None:
+        self._frag_maps = {
+            i: {} for i, w in enumerate(self._config.bits) if w > 0
+        }
+
+    def _bucket_overhead_bytes(self) -> int:
+        # A live bucket costs its dict slot plus one inverted-map entry per
+        # actively indexed attribute.
+        return self.cost_params.bucket_bytes + 8 * len(self._frag_maps)
+
+    # ------------------------------------------------------------------ #
+    # storage
+
+    def insert(self, item: Mapping[str, object]) -> None:
+        key = self._config.bucket_key(item, self.value_mapper)
+        acct = self.accountant
+        acct.hashes += len(self._frag_maps)  # one fragment hash per indexed attribute
+        acct.inserts += 1
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = {}
+            self._buckets[key] = bucket
+            for pos, fmap in self._frag_maps.items():
+                fmap.setdefault(key[pos], set()).add(key)
+            acct.index_bytes += self._bucket_overhead_bytes()
+        bucket[id(item)] = item
+        self._item_keys[id(item)] = key
+        self._size += 1
+        acct.index_bytes += self.cost_params.bucket_slot_bytes
+
+    def remove(self, item: Mapping[str, object]) -> None:
+        key = self._item_keys.pop(id(item), None)
+        if key is None:
+            raise KeyError("item was never inserted into this index")
+        bucket = self._buckets[key]
+        del bucket[id(item)]
+        self._size -= 1
+        acct = self.accountant
+        acct.deletes += 1
+        acct.index_bytes -= self.cost_params.bucket_slot_bytes
+        if not bucket:
+            del self._buckets[key]
+            for pos, fmap in self._frag_maps.items():
+                keys = fmap.get(key[pos])
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        del fmap[key[pos]]
+            acct.index_bytes -= self._bucket_overhead_bytes()
+
+    def items(self) -> Iterator[Mapping[str, object]]:
+        """Iterate every stored item (bucket order)."""
+        for bucket in self._buckets.values():
+            yield from bucket.values()
+
+    # ------------------------------------------------------------------ #
+    # search
+
+    def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
+        self._check_probe(ap, values)
+        acct = self.accountant
+        # C_hash,Sr: one hash per attribute the request specifies.
+        acct.hashes += ap.n_attributes
+
+        fixed = self._config.probe_fragments(ap, values, self.value_mapper)
+        if fixed:
+            candidate_keys = self._intersect_candidates(fixed)
+        else:
+            candidate_keys = None  # no indexed attribute constrains the probe
+
+        wildcard_bits = self._config.wildcard_bits(ap)
+        live = len(self._buckets)
+        if wildcard_bits < live.bit_length() + 40:  # avoid huge shifts just to compare
+            enumerated = min(1 << wildcard_bits, live)
+        else:
+            enumerated = live
+        acct.buckets_visited += max(enumerated, 1 if live else 0)
+
+        outcome = SearchOutcome()
+        outcome.buckets_visited = max(enumerated, 1 if live else 0)
+        if candidate_keys is None:
+            examined = self._size
+            source = self._buckets.values()
+            items = (item for bucket in source for item in bucket.values())
+            outcome.used_full_scan = True
+        else:
+            examined = sum(len(self._buckets[k]) for k in candidate_keys)
+            items = (item for k in candidate_keys for item in self._buckets[k].values())
+        acct.tuples_examined += examined
+        outcome.tuples_examined = examined
+        if ap.is_full_scan:
+            outcome.matches = list(items)
+        else:
+            outcome.matches = [item for item in items if self._matches(item, ap, values)]
+        return outcome
+
+    def _intersect_candidates(self, fixed: dict[int, int]) -> list[BucketKey]:
+        """Bucket keys whose fragments match every fixed attribute fragment."""
+        sets: list[set[BucketKey]] = []
+        for pos, frag in fixed.items():
+            keys = self._frag_maps[pos].get(frag)
+            if not keys:
+                return []
+            sets.append(keys)
+        sets.sort(key=len)
+        base = sets[0]
+        if len(sets) == 1:
+            return list(base)
+        rest = sets[1:]
+        return [k for k in base if all(k in s for s in rest)]
+
+    # ------------------------------------------------------------------ #
+    # adaptation
+
+    def reconfigure(self, new_config: IndexConfiguration) -> MigrationReport:
+        """Adapt the index from the current key map to ``new_config``.
+
+        Every stored tuple is relocated to its bucket under the new map
+        (Section III's ``BI1 -> BI2`` migration); the accountant is charged
+        one move plus one fragment hash per newly indexed attribute for each
+        tuple.
+        """
+        if new_config.jas != self.jas:
+            raise ValueError("new configuration ranges over a different JAS")
+        old_config = self._config
+        old_items = list(self.items())
+
+        acct = self.accountant
+        acct.index_bytes -= self._current_structure_bytes()
+
+        self._config = new_config
+        self._buckets = {}
+        self._item_keys = {}
+        self._size = 0
+        self._rebuild_frag_positions()
+
+        hashes_before = acct.hashes
+        for item in old_items:
+            self.insert(item)
+            acct.inserts -= 1  # migration is not a fresh insert; charge moves instead
+        acct.moves += len(old_items)
+        return MigrationReport(
+            old_config=old_config,
+            new_config=new_config,
+            tuples_moved=len(old_items),
+            hashes=acct.hashes - hashes_before,
+        )
+
+    def _current_structure_bytes(self) -> int:
+        return (
+            len(self._buckets) * self._bucket_overhead_bytes()
+            + self._size * self.cost_params.bucket_slot_bytes
+        )
+
+    def describe(self) -> str:
+        return f"BitAddressIndex({self._config!r}, size={self._size}, buckets={len(self._buckets)})"
+
+
+def make_bit_index(
+    jas: JoinAttributeSet,
+    bits: Mapping[str, int] | list[int] | tuple[int, ...],
+    accountant: Accountant | None = None,
+) -> BitAddressIndex:
+    """Convenience constructor: build a bit-address index from a bit spec."""
+    return BitAddressIndex(IndexConfiguration(jas, bits), accountant)

@@ -1,0 +1,140 @@
+"""Index health diagnostics: what an operator would want to see live.
+
+:func:`inspect_index` snapshots one bit-address index (configuration,
+occupancy, memory); :func:`inspect_state` adds the assessment view and the
+cost model's opinion of the current configuration vs the observed workload,
+including the configuration the selector *would* choose now — i.e. "how
+stale is this index?".  :func:`format_report` renders the snapshots as the
+kind of table a ``SHOW INDEX STATUS`` command would print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access_pattern import AccessPattern
+from repro.core.assessment.base import FrequencyAssessor
+from repro.core.bit_index import BitAddressIndex
+from repro.core.cost_model import WorkloadStatistics, estimate_cd, selectivity_weighted_scan_fraction
+from repro.core.index_config import IndexConfiguration
+from repro.core.selector import IndexSelector
+from repro.core.value_mapping import occupancy_skew
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """Physical-state facts about one bit-address index."""
+
+    config: IndexConfiguration
+    size: int
+    bucket_count: int
+    occupancy_skew: float
+    largest_bucket: int
+    memory_bytes: int
+
+    @property
+    def mean_bucket_size(self) -> float:
+        return self.size / self.bucket_count if self.bucket_count else 0.0
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """One state's index + assessment + cost-model view."""
+
+    stream: str
+    index: IndexSnapshot
+    n_requests: int
+    frequent_patterns: dict[AccessPattern, float] = field(default_factory=dict)
+    current_cd: float | None = None
+    best_cd: float | None = None
+    best_config: IndexConfiguration | None = None
+    scan_fraction: float | None = None
+
+    @property
+    def staleness(self) -> float:
+        """How much of the current cost the best configuration would save.
+
+        0.0 = the index is exactly what the selector would choose now;
+        0.4 = migrating would cut the configuration-dependent cost by 40%.
+        """
+        if not self.current_cd or self.best_cd is None:
+            return 0.0
+        return max(0.0, 1.0 - self.best_cd / self.current_cd)
+
+
+def inspect_index(index: BitAddressIndex) -> IndexSnapshot:
+    """Snapshot one bit-address index's physical state."""
+    sizes = index.bucket_sizes()
+    return IndexSnapshot(
+        config=index.config,
+        size=index.size,
+        bucket_count=index.bucket_count,
+        occupancy_skew=occupancy_skew(sizes),
+        largest_bucket=max(sizes, default=0),
+        memory_bytes=index.memory_bytes,
+    )
+
+
+def inspect_state(
+    stream: str,
+    index: BitAddressIndex,
+    assessor: FrequencyAssessor,
+    *,
+    theta: float = 0.1,
+    lambda_d: float = 1.0,
+    lambda_r: float = 1.0,
+    window: float = 1.0,
+    domain_bits: dict[str, int] | None = None,
+    selector: IndexSelector | None = None,
+) -> StateSnapshot:
+    """Snapshot one state: physical index + workload + cost-model verdict.
+
+    With no recorded requests the cost fields stay ``None`` (nothing to
+    judge against).
+    """
+    idx_snap = inspect_index(index)
+    freqs = assessor.frequent_patterns(theta) if assessor.n_requests else {}
+    current_cd = best_cd = None
+    best_config = None
+    scan_fraction = None
+    if freqs:
+        stats = WorkloadStatistics(
+            lambda_d=lambda_d,
+            lambda_r=lambda_r,
+            window=window,
+            frequencies=freqs,
+            domain_bits=domain_bits or {},
+        )
+        current_cd = estimate_cd(index.config, stats)
+        scan_fraction = selectivity_weighted_scan_fraction(index.config, stats)
+        if selector is not None:
+            best_config = selector.select(stats)
+            best_cd = estimate_cd(best_config, stats)
+    return StateSnapshot(
+        stream=stream,
+        index=idx_snap,
+        n_requests=assessor.n_requests,
+        frequent_patterns=freqs,
+        current_cd=current_cd,
+        best_cd=best_cd,
+        best_config=best_config,
+        scan_fraction=scan_fraction,
+    )
+
+
+def format_report(snapshots: list[StateSnapshot]) -> str:
+    """Render state snapshots as an operator-facing table."""
+    lines = [
+        f"{'state':>8}  {'IC':<28} {'tuples':>7} {'buckets':>7} "
+        f"{'skew':>6} {'mem(KB)':>8} {'stale':>6}"
+    ]
+    for snap in snapshots:
+        ic = repr(snap.index.config)
+        lines.append(
+            f"{snap.stream:>8}  {ic:<28} {snap.index.size:>7} "
+            f"{snap.index.bucket_count:>7} {snap.index.occupancy_skew:>6.2f} "
+            f"{snap.index.memory_bytes / 1024:>8.1f} {snap.staleness:>6.0%}"
+        )
+        if snap.best_config is not None and snap.best_config != snap.index.config:
+            lines.append(f"{'':>10}selector would choose {snap.best_config!r}")
+    return "\n".join(lines)

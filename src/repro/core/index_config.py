@@ -1,0 +1,202 @@
+"""Index configurations — the bit-address index key map (Section III).
+
+An *index configuration* (IC) assigns each join attribute of a state a number
+of bits (possibly zero).  With ``B`` total assigned bits the index has
+``2**B`` logical bucket locations; a tuple's bucket id is formed by mapping
+each attribute value to a fragment of the configured width and concatenating
+the fragments in JAS order.  The IC is a blueprint only — it is never stored
+with tuples, which is the source of the design's low memory overhead.
+
+``IndexConfiguration`` is immutable and hashable so configurations can key
+caches and be compared by the tuner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from collections.abc import Callable
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.utils.bitops import fragment, mask_to_indices
+
+# (attribute name, value, n_bits) -> fragment; see repro.core.value_mapping.
+ValueMapper = Callable[[str, object, int], int]
+
+
+def _default_map(attribute: str, value: object, n_bits: int) -> int:
+    return fragment(value, n_bits)
+
+
+class IndexConfiguration:
+    """Bits-per-join-attribute key map for a bit-address index.
+
+    Parameters
+    ----------
+    jas:
+        The state's join-attribute set (fixes attribute order).
+    bits:
+        Either a sequence of per-attribute bit widths in JAS order or a
+        mapping ``attribute name -> bits`` (unmentioned attributes get 0).
+    """
+
+    __slots__ = ("_jas", "_bits", "_total")
+
+    def __init__(self, jas: JoinAttributeSet, bits: Iterable[int] | Mapping[str, int]) -> None:
+        if isinstance(bits, Mapping):
+            unknown = set(bits) - set(jas.names)
+            if unknown:
+                raise ValueError(f"bits given for attributes not in JAS: {sorted(unknown)}")
+            widths = tuple(int(bits.get(name, 0)) for name in jas.names)
+        else:
+            widths = tuple(int(b) for b in bits)
+            if len(widths) != len(jas):
+                raise ValueError(
+                    f"expected {len(jas)} bit widths for JAS {list(jas.names)}, got {len(widths)}"
+                )
+        for name, w in zip(jas.names, widths):
+            if w < 0:
+                raise ValueError(f"bit width for {name!r} must be >= 0, got {w}")
+        self._jas = jas
+        self._bits = widths
+        self._total = sum(widths)
+
+    # ------------------------------------------------------------------ #
+    # views
+
+    @property
+    def jas(self) -> JoinAttributeSet:
+        """The join-attribute set this configuration maps."""
+        return self._jas
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        """Per-attribute bit widths in JAS order."""
+        return self._bits
+
+    @property
+    def total_bits(self) -> int:
+        """Total assigned bits ``B`` (the index has ``2**B`` logical buckets)."""
+        return self._total
+
+    def bits_for_attribute(self, name: str) -> int:
+        """Bit width assigned to attribute ``name``."""
+        return self._bits[self._jas.position(name)]
+
+    def bits_for_pattern(self, ap: AccessPattern) -> int:
+        """``B_ap`` — total bits assigned to the attributes ``ap`` specifies."""
+        self._check_jas(ap)
+        return sum(self._bits[i] for i in mask_to_indices(ap.mask))
+
+    def wildcard_bits(self, ap: AccessPattern) -> int:
+        """Bits assigned to attributes *not* in ``ap``.
+
+        A search with pattern ``ap`` must enumerate ``2**wildcard_bits(ap)``
+        bucket ids (the wildcard condition of Section III).
+        """
+        return self._total - self.bits_for_pattern(ap)
+
+    @property
+    def indexed_attributes(self) -> tuple[str, ...]:
+        """Attributes with at least one bit assigned, in JAS order."""
+        return tuple(name for name, w in zip(self._jas.names, self._bits) if w > 0)
+
+    def as_pattern(self) -> AccessPattern:
+        """The access pattern formed by the attributes with bits assigned.
+
+        This is "the attributes in the IC" of Section IV-D's case analysis.
+        """
+        return AccessPattern.from_attributes(self._jas, self.indexed_attributes)
+
+    # ------------------------------------------------------------------ #
+    # bucket mapping
+
+    def bucket_key(
+        self, values: Mapping[str, object], mapper: ValueMapper | None = None
+    ) -> tuple[int, ...]:
+        """Per-attribute fragment tuple locating the bucket for ``values``.
+
+        ``values`` must supply every JAS attribute (tuples always carry their
+        full attribute set).  Attributes with zero bits contribute fragment 0.
+        ``mapper`` overrides the default hash fragmentation (e.g. with an
+        equi-depth mapper; see :mod:`repro.core.value_mapping`).
+        """
+        fn = _default_map if mapper is None else mapper
+        return tuple(
+            fn(name, values[name], w) if w > 0 else 0
+            for name, w in zip(self._jas.names, self._bits)
+        )
+
+    def bucket_id(self, values: Mapping[str, object], mapper: ValueMapper | None = None) -> int:
+        """The concatenated integer bucket id (Figure 3's presentation).
+
+        Fragments are concatenated with the first JAS attribute in the most
+        significant position, matching the paper's worked example.
+        """
+        fn = _default_map if mapper is None else mapper
+        bucket = 0
+        for name, w in zip(self._jas.names, self._bits):
+            if w == 0:
+                continue
+            bucket = (bucket << w) | fn(name, values[name], w)
+        return bucket
+
+    def probe_fragments(
+        self,
+        ap: AccessPattern,
+        values: Mapping[str, object],
+        mapper: ValueMapper | None = None,
+    ) -> dict[int, int]:
+        """Fixed fragments for a search: attribute position → fragment.
+
+        Only attributes that are both in ``ap`` and carry bits constrain the
+        search; the rest are wildcards.
+        """
+        self._check_jas(ap)
+        fn = _default_map if mapper is None else mapper
+        out: dict[int, int] = {}
+        for i in mask_to_indices(ap.mask):
+            w = self._bits[i]
+            if w > 0:
+                name = self._jas.names[i]
+                out[i] = fn(name, values[name], w)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+
+    def with_bits(self, name: str, width: int) -> "IndexConfiguration":
+        """A copy with attribute ``name`` reassigned ``width`` bits."""
+        pos = self._jas.position(name)
+        new = list(self._bits)
+        new[pos] = width
+        return IndexConfiguration(self._jas, new)
+
+    def _check_jas(self, ap: AccessPattern) -> None:
+        if ap.jas != self._jas:
+            raise ValueError(f"pattern {ap!r} ranges over a different JAS than this IC")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndexConfiguration):
+            return NotImplemented
+        return self._jas == other._jas and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._jas, self._bits))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{w}" for n, w in zip(self._jas.names, self._bits))
+        return f"IC({parts} | B={self._total})"
+
+
+def uniform_configuration(jas: JoinAttributeSet, total_bits: int) -> IndexConfiguration:
+    """Spread ``total_bits`` as evenly as possible across all attributes.
+
+    Earlier JAS attributes receive the remainder bits.  A reasonable
+    uninformed starting configuration before any statistics exist.
+    """
+    if total_bits < 0:
+        raise ValueError(f"total_bits must be >= 0, got {total_bits}")
+    n = len(jas)
+    base, rem = divmod(total_bits, n)
+    return IndexConfiguration(jas, [base + (1 if i < rem else 0) for i in range(n)])

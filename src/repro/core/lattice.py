@@ -1,0 +1,131 @@
+"""The search-benefit lattice of access patterns (Section IV-D1, Figure 4).
+
+Nodes are access patterns over one JAS; an edge links ``ap1 -> ap2`` when
+``ap1`` is one attribute short of ``ap2`` and therefore provides a search
+benefit to it (Definition 1).  The top of the lattice is the full-scan
+pattern ``<*,...,*>`` (level 0); the bottom is the pattern naming every join
+attribute (level ``len(jas)``).
+
+:class:`AccessPatternLattice` materialises the full lattice for a JAS —
+cheap for realistic JAS sizes (``2**n`` nodes; the paper's scenario has
+``n = 3``) — and provides the structural callbacks (parents / level /
+ancestry) that both DIA's lattice bookkeeping and the generic hierarchical
+heavy-hitter engine consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.utils.bitops import bit_count
+
+
+class AccessPatternLattice:
+    """Materialised search-benefit lattice over one join-attribute set."""
+
+    def __init__(self, jas: JoinAttributeSet) -> None:
+        self.jas = jas
+        self._nodes = tuple(AccessPattern(jas, m) for m in range(jas.full_mask + 1))
+        levels: list[list[AccessPattern]] = [[] for _ in range(len(jas) + 1)]
+        for node in self._nodes:
+            levels[node.level()].append(node)
+        self._levels = tuple(tuple(lv) for lv in levels)
+
+    # ------------------------------------------------------------------ #
+    # structure
+
+    @property
+    def top(self) -> AccessPattern:
+        """The most general pattern ``<*,...,*>``."""
+        return self._nodes[0]
+
+    @property
+    def bottom(self) -> AccessPattern:
+        """The most specific pattern (all join attributes)."""
+        return self._nodes[-1]
+
+    @property
+    def height(self) -> int:
+        """Number of levels, ``len(jas) + 1`` (the paper's ``h``)."""
+        return len(self._levels)
+
+    def level(self, k: int) -> tuple[AccessPattern, ...]:
+        """All patterns with exactly ``k`` attributes."""
+        return self._levels[k]
+
+    def nodes(self) -> tuple[AccessPattern, ...]:
+        """All ``2**len(jas)`` patterns, in mask order."""
+        return self._nodes
+
+    def node(self, mask: int) -> AccessPattern:
+        """The pattern with bitmask ``mask`` (direct addressing)."""
+        return self._nodes[mask]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[AccessPattern]:
+        return iter(self._nodes)
+
+    def __contains__(self, ap: object) -> bool:
+        return isinstance(ap, AccessPattern) and ap.jas == self.jas
+
+    # ------------------------------------------------------------------ #
+    # relations (also usable as callbacks for HierarchicalHeavyHitters)
+
+    def parents(self, ap: AccessPattern) -> tuple[AccessPattern, ...]:
+        """Patterns one attribute more general than ``ap``."""
+        self._check(ap)
+        return ap.parents()
+
+    def children(self, ap: AccessPattern) -> tuple[AccessPattern, ...]:
+        """Patterns one attribute more specific than ``ap``."""
+        self._check(ap)
+        return ap.children()
+
+    def depth(self, ap: AccessPattern) -> int:
+        """Level of ``ap`` (top = 0)."""
+        self._check(ap)
+        return ap.level()
+
+    def is_ancestor(self, a: AccessPattern, b: AccessPattern) -> bool:
+        """True when ``a`` strictly generalizes ``b`` (``a ≺ b``, ``a != b``)."""
+        self._check(a)
+        self._check(b)
+        return a.is_proper_generalization_of(b)
+
+    def iter_top_down(self) -> Iterator[AccessPattern]:
+        """All patterns, most general first (level order)."""
+        for lvl in self._levels:
+            yield from lvl
+
+    def iter_bottom_up(self) -> Iterator[AccessPattern]:
+        """All patterns, most specific first (reverse level order)."""
+        for lvl in reversed(self._levels):
+            yield from lvl
+
+    def descendants(self, ap: AccessPattern, *, proper: bool = True) -> list[AccessPattern]:
+        """All patterns ``ap`` provides a search benefit to."""
+        self._check(ap)
+        return list(ap.specializations(proper=proper))
+
+    def ancestors(self, ap: AccessPattern, *, proper: bool = True) -> list[AccessPattern]:
+        """All patterns that provide a search benefit to ``ap``."""
+        self._check(ap)
+        return list(ap.generalizations(proper=proper))
+
+    def edge_count(self) -> int:
+        """Number of direct benefit edges (for structural assertions).
+
+        Each node with ``k`` attributes has ``k`` parents, so the total is
+        ``sum(k * C(n, k))`` = ``n * 2**(n-1)``.
+        """
+        return sum(bit_count(node.mask) for node in self._nodes)
+
+    def _check(self, ap: AccessPattern) -> None:
+        if ap.jas != self.jas:
+            raise ValueError(f"pattern {ap!r} belongs to a different JAS than this lattice")
+
+    def __repr__(self) -> str:
+        return f"AccessPatternLattice(jas={list(self.jas.names)!r}, nodes={len(self._nodes)})"

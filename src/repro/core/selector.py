@@ -1,0 +1,238 @@
+"""Index-configuration selection: pick the key map minimising ``C_D``.
+
+Given access-pattern frequencies (from an assessment method) and a total bit
+budget, the selector searches the space of per-attribute bit allocations for
+the configuration with the lowest estimated cost.  Two strategies:
+
+- :func:`select_exhaustive` — enumerate every allocation (each attribute
+  0..cap bits, total ≤ budget).  Exact; fine for small JAS (the paper's
+  scenario: 3 attributes, 64 bits, domain-capped).
+- :func:`select_greedy` — add one bit at a time to the attribute with the
+  best marginal ``C_D`` reduction.  Near-exact in practice and polynomial for
+  wide JAS.
+
+Also here: :func:`select_hash_patterns`, the "conventional index selection"
+the paper applies to the multi-hash baseline — index the ``k`` most frequent
+access patterns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.cost_model import WorkloadStatistics, estimate_cd
+from repro.core.index_config import IndexConfiguration
+from repro.indexes.base import CostParams
+from repro.utils.validation import check_non_negative, check_positive
+
+# Bits beyond this per attribute never pay off at stream scale and explode the
+# exhaustive search space; callers can raise it explicitly if needed.
+DEFAULT_MAX_BITS_PER_ATTRIBUTE = 16
+
+
+def _attribute_caps(
+    jas: JoinAttributeSet,
+    budget: int,
+    domain_bits: Mapping[str, int],
+    max_bits_per_attribute: int,
+) -> list[int]:
+    caps = []
+    for name in jas.names:
+        cap = min(budget, max_bits_per_attribute)
+        dom = domain_bits.get(name)
+        if dom is not None:
+            cap = min(cap, dom)
+        caps.append(cap)
+    return caps
+
+
+def enumerate_allocations(caps: list[int], budget: int) -> Iterator[tuple[int, ...]]:
+    """All per-attribute bit vectors with each ``b_i <= caps[i]``, sum ≤ budget."""
+    n = len(caps)
+    current = [0] * n
+
+    def rec(i: int, remaining: int) -> Iterator[tuple[int, ...]]:
+        if i == n:
+            yield tuple(current)
+            return
+        for b in range(min(caps[i], remaining) + 1):
+            current[i] = b
+            yield from rec(i + 1, remaining - b)
+        current[i] = 0
+
+    yield from rec(0, budget)
+
+
+def allocation_count(caps: list[int], budget: int) -> int:
+    """Number of allocations :func:`enumerate_allocations` would yield."""
+    counts = {0: 1}
+    for cap in caps:
+        new: dict[int, int] = {}
+        for total, ways in counts.items():
+            for b in range(min(cap, budget - total) + 1):
+                new[total + b] = new.get(total + b, 0) + ways
+        counts = new
+    return sum(counts.values())
+
+
+def select_exhaustive(
+    stats: WorkloadStatistics,
+    jas: JoinAttributeSet,
+    budget: int,
+    params: CostParams | None = None,
+    *,
+    max_bits_per_attribute: int = DEFAULT_MAX_BITS_PER_ATTRIBUTE,
+) -> IndexConfiguration:
+    """The allocation minimising ``C_D``, by full enumeration.
+
+    Ties break toward fewer total bits, then the lexicographically smallest
+    bit vector, keeping selections deterministic.
+    """
+    check_non_negative("budget", budget)
+    caps = _attribute_caps(jas, budget, stats.domain_bits, max_bits_per_attribute)
+    best_cfg: IndexConfiguration | None = None
+    best_key: tuple[float, int, tuple[int, ...]] | None = None
+    for bits in enumerate_allocations(caps, budget):
+        cfg = IndexConfiguration(jas, bits)
+        key = (estimate_cd(cfg, stats, params), sum(bits), bits)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_cfg = cfg
+    assert best_cfg is not None  # the all-zero allocation always exists
+    return best_cfg
+
+
+def select_greedy(
+    stats: WorkloadStatistics,
+    jas: JoinAttributeSet,
+    budget: int,
+    params: CostParams | None = None,
+    *,
+    max_bits_per_attribute: int = DEFAULT_MAX_BITS_PER_ATTRIBUTE,
+) -> IndexConfiguration:
+    """Greedy marginal allocation: repeatedly grant the best single bit.
+
+    Stops when the budget is exhausted or no single-bit grant lowers ``C_D``.
+    """
+    check_non_negative("budget", budget)
+    caps = _attribute_caps(jas, budget, stats.domain_bits, max_bits_per_attribute)
+    bits = [0] * len(jas)
+    cfg = IndexConfiguration(jas, bits)
+    current_cost = estimate_cd(cfg, stats, params)
+    remaining = budget
+    while remaining > 0:
+        best_i = -1
+        best_cost = current_cost
+        for i in range(len(jas)):
+            if bits[i] >= caps[i]:
+                continue
+            bits[i] += 1
+            cost = estimate_cd(IndexConfiguration(jas, bits), stats, params)
+            bits[i] -= 1
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_i = i
+        if best_i < 0:
+            break
+        bits[best_i] += 1
+        remaining -= 1
+        current_cost = best_cost
+    return IndexConfiguration(jas, bits)
+
+
+class IndexSelector:
+    """Reusable selector bound to a JAS, budget, and cost parameters.
+
+    Chooses the exhaustive strategy when the allocation space is small
+    enough (≤ ``exhaustive_limit`` candidates), greedy otherwise.
+    """
+
+    def __init__(
+        self,
+        jas: JoinAttributeSet,
+        budget: int,
+        params: CostParams | None = None,
+        *,
+        max_bits_per_attribute: int = DEFAULT_MAX_BITS_PER_ATTRIBUTE,
+        exhaustive_limit: int = 200_000,
+    ) -> None:
+        check_non_negative("budget", budget)
+        check_positive("exhaustive_limit", exhaustive_limit)
+        self.jas = jas
+        self.budget = budget
+        self.params = params if params is not None else CostParams()
+        self.max_bits_per_attribute = max_bits_per_attribute
+        self.exhaustive_limit = exhaustive_limit
+
+    def select(self, stats: WorkloadStatistics) -> IndexConfiguration:
+        """The best configuration for the given statistics."""
+        caps = _attribute_caps(self.jas, self.budget, stats.domain_bits, self.max_bits_per_attribute)
+        if allocation_count(caps, self.budget) <= self.exhaustive_limit:
+            return select_exhaustive(
+                stats,
+                self.jas,
+                self.budget,
+                self.params,
+                max_bits_per_attribute=self.max_bits_per_attribute,
+            )
+        return select_greedy(
+            stats,
+            self.jas,
+            self.budget,
+            self.params,
+            max_bits_per_attribute=self.max_bits_per_attribute,
+        )
+
+
+def select_hash_patterns(
+    frequencies: Mapping[AccessPattern, float], k: int
+) -> list[AccessPattern]:
+    """Conventional index selection for the multi-hash baseline (Section V).
+
+    The ``k`` most frequent non-full-scan access patterns, by descending
+    frequency (ties toward the lower mask for determinism).
+    """
+    check_positive("k", k)
+    ranked = sorted(
+        (ap for ap in frequencies if not ap.is_full_scan),
+        key=lambda ap: (-frequencies[ap], ap.mask),
+    )
+    return ranked[:k]
+
+
+def pad_patterns_to_k(
+    jas: JoinAttributeSet,
+    chosen: list[AccessPattern],
+    k: int,
+    *,
+    prefer: Iterable[AccessPattern] = (),
+) -> list[AccessPattern]:
+    """Fill a module list up to exactly ``k`` patterns (or all possible).
+
+    The paper's hash trials run with a *fixed* number of hash indices;
+    when fewer than ``k`` patterns clear the frequency threshold the
+    remaining slots are filled deterministically — first from ``prefer``
+    (e.g. currently built modules, avoiding rebuilds), then unused patterns
+    by ascending attribute count and mask.
+    """
+    check_positive("k", k)
+    out = list(chosen[:k])
+    have = {p.mask for p in out}
+    for p in prefer:
+        if len(out) >= k:
+            return out
+        if p.mask not in have and not p.is_full_scan:
+            out.append(p)
+            have.add(p.mask)
+    candidates = sorted(
+        (AccessPattern.from_mask(jas, m) for m in range(1, jas.full_mask + 1)),
+        key=lambda p: (p.n_attributes, p.mask),
+    )
+    for p in candidates:
+        if len(out) >= k:
+            break
+        if p.mask not in have:
+            out.append(p)
+            have.add(p.mask)
+    return out

@@ -1,0 +1,117 @@
+"""Value-to-fragment mapping strategies for the bit-address index.
+
+Section III: "The optimal index key map is configured so that no bucket
+stores more tuples than any other bucket (i.e., an even distribution of
+stored tuples). ... To simplify the presentation, we assume that the range
+and estimated distribution of each attribute is known."
+
+This module makes that assumption operational.  A *value mapper* turns an
+attribute value into an ``n``-bit fragment:
+
+- :class:`HashValueMapper` — the default: a deterministic 64-bit mix
+  (:func:`repro.utils.bitops.fragment`).  Distribution-agnostic; skewed
+  value distributions produce skewed bucket occupancy because equal values
+  always share a bucket.
+- :class:`EquiDepthValueMapper` — built from a sample of each attribute's
+  values (e.g. the quasi-training data): fragment boundaries are the
+  sample's quantiles, so each fragment receives roughly equal *mass* even
+  under heavy skew.  Values of one attribute must be mutually orderable.
+
+Mappers are deliberately index-level (not part of
+:class:`~repro.core.index_config.IndexConfiguration`): the IC stays a pure,
+hashable bits-per-attribute blueprint, while the mapper is a property of
+the physical index, supplied at construction.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.utils.bitops import fragment
+
+
+class HashValueMapper:
+    """Distribution-agnostic mapping via a deterministic 64-bit mix."""
+
+    def __call__(self, attribute: str, value: object, n_bits: int) -> int:
+        """The fragment for ``value`` of ``attribute`` at ``n_bits`` width."""
+        return fragment(value, n_bits)
+
+    def __repr__(self) -> str:
+        return "HashValueMapper()"
+
+
+DEFAULT_VALUE_MAPPER = HashValueMapper()
+
+
+class EquiDepthValueMapper:
+    """Quantile-based mapping trained on sampled attribute values.
+
+    For each attribute a sorted sample is kept; at width ``n`` the fragment
+    of a value is the index of the quantile interval (out of ``2**n``) the
+    value falls into.  Equal values necessarily share a fragment, so a
+    single value holding more than ``1/2**n`` of the mass still overflows
+    its bucket — the unavoidable limit of *any* deterministic key map.
+
+    Attributes without a sample fall back to hash mapping.
+    """
+
+    def __init__(self, samples: Mapping[str, Iterable[object]]) -> None:
+        self._sorted: dict[str, list] = {}
+        for attr, values in samples.items():
+            data = sorted(values)
+            if not data:
+                raise ValueError(f"empty sample for attribute {attr!r}")
+            self._sorted[attr] = data
+        self._boundary_cache: dict[tuple[str, int], list] = {}
+
+    @classmethod
+    def from_tuples(
+        cls, attribute_names: Sequence[str], tuples: Iterable[Mapping[str, object]]
+    ) -> "EquiDepthValueMapper":
+        """Build from sampled tuples (e.g. the quasi-training stream)."""
+        samples: dict[str, list] = {a: [] for a in attribute_names}
+        for item in tuples:
+            for a in attribute_names:
+                if a in item:
+                    samples[a].append(item[a])
+        return cls({a: v for a, v in samples.items() if v})
+
+    def has_sample(self, attribute: str) -> bool:
+        """True when quantile boundaries exist for ``attribute``."""
+        return attribute in self._sorted
+
+    def _boundaries(self, attribute: str, n_bits: int) -> list:
+        key = (attribute, n_bits)
+        cached = self._boundary_cache.get(key)
+        if cached is not None:
+            return cached
+        data = self._sorted[attribute]
+        parts = 1 << n_bits
+        boundaries = [
+            data[min(len(data) - 1, (len(data) * k) // parts)] for k in range(1, parts)
+        ]
+        self._boundary_cache[key] = boundaries
+        return boundaries
+
+    def __call__(self, attribute: str, value: object, n_bits: int) -> int:
+        if n_bits <= 0:
+            return 0
+        data = self._sorted.get(attribute)
+        if data is None:
+            return fragment(value, n_bits)
+        boundaries = self._boundaries(attribute, n_bits)
+        return bisect.bisect_left(boundaries, value)
+
+    def __repr__(self) -> str:
+        return f"EquiDepthValueMapper(attributes={sorted(self._sorted)})"
+
+
+def occupancy_skew(bucket_sizes: Sequence[int]) -> float:
+    """Max/mean bucket occupancy — 1.0 is the even distribution Section III
+    calls optimal; used by tests and the key-map ablation."""
+    if not bucket_sizes:
+        return 1.0
+    mean = sum(bucket_sizes) / len(bucket_sizes)
+    return max(bucket_sizes) / mean if mean > 0 else 1.0

@@ -1,0 +1,114 @@
+"""Streaming aggregates over join results (Figure 2's ``<agg-func-list>``).
+
+The SPJ template's SELECT clause allows aggregate functions; the engine
+emits full join results, and an :class:`AggregationSink` attached to the
+executor folds them into running aggregates: ``count(*)``, ``sum``/``avg``/
+``min``/``max`` over any attribute of the joined result.
+
+Aggregates are *cumulative* over the run (the natural reading for the
+paper's cumulative-throughput evaluation); :meth:`AggregationSink.snapshot`
+can be sampled per tick to build a series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate of the SELECT list.
+
+    ``attr`` is ``None`` only for ``count`` (the ``count(*)`` form).
+    ``label`` names the output column.
+    """
+
+    func: str
+    attr: str | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(
+                f"unsupported aggregate {self.func!r}; expected one of {AGGREGATE_FUNCS}"
+            )
+        if self.func != "count" and self.attr is None:
+            raise ValueError(f"{self.func} requires an attribute")
+        if self.label is None:
+            body = self.attr if self.attr is not None else "*"
+            object.__setattr__(self, "label", f"{self.func}({body})")
+
+
+class _Accumulator:
+    """Running state of one aggregate."""
+
+    __slots__ = ("spec", "count", "total", "minimum", "maximum")
+
+    def __init__(self, spec: AggregateSpec) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total = 0.0
+        self.minimum: object = None
+        self.maximum: object = None
+
+    def add(self, result: Mapping[str, object]) -> None:
+        spec = self.spec
+        if spec.func == "count":
+            self.count += 1
+            return
+        value = result[spec.attr]
+        self.count += 1
+        if spec.func in ("sum", "avg"):
+            self.total += float(value)  # type: ignore[arg-type]
+        elif spec.func == "min":
+            if self.minimum is None or value < self.minimum:  # type: ignore[operator]
+                self.minimum = value
+        elif spec.func == "max":
+            if self.maximum is None or value > self.maximum:  # type: ignore[operator]
+                self.maximum = value
+
+    def value(self) -> object:
+        spec = self.spec
+        if spec.func == "count":
+            return self.count
+        if spec.func == "sum":
+            return self.total
+        if spec.func == "avg":
+            return self.total / self.count if self.count else None
+        if spec.func == "min":
+            return self.minimum
+        return self.maximum
+
+
+class AggregationSink:
+    """Folds emitted join results into running aggregates.
+
+    Attach to an executor via its ``output_sink`` parameter; call
+    :meth:`snapshot` whenever a sample of current values is needed.
+    """
+
+    def __init__(self, specs: Iterable[AggregateSpec]) -> None:
+        self._accs = [_Accumulator(spec) for spec in specs]
+        if not self._accs:
+            raise ValueError("an aggregation sink needs at least one aggregate")
+        labels = [a.spec.label for a in self._accs]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate aggregate labels: {labels}")
+        self.results_seen = 0
+
+    def __call__(self, results: Iterable[Mapping[str, object]]) -> None:
+        """Consume a batch of join results (the executor's output hook)."""
+        for result in results:
+            self.results_seen += 1
+            for acc in self._accs:
+                acc.add(result)
+
+    def snapshot(self) -> dict[str, object]:
+        """Current value of every aggregate, keyed by label."""
+        return {acc.spec.label: acc.value() for acc in self._accs}
+
+    def __repr__(self) -> str:
+        return f"AggregationSink({[a.spec.label for a in self._accs]})"

@@ -1,0 +1,281 @@
+"""The AMR execution loop: arrivals → routing → probes → outputs.
+
+Discrete-time semantics:
+
+1. Each tick, the workload generator delivers ``λ_d`` tuples per stream;
+   each is inserted into its state immediately (window maintenance is not
+   deferrable) and its *search-request work* is queued.
+2. The engine drains the queue while the tick's cost-unit capacity lasts:
+   for each tuple a route over the remaining states is chosen (Eddy-style,
+   possibly exploratory) and the partial result set is pushed through the
+   route hop by hop, joining only with strictly-older tuples so every
+   result is produced exactly once.  Every probe is a search request whose
+   access pattern depends on what is already joined — the diversity AMRI
+   exists to serve.  Requests that do not fit in a tick form the *backlog*.
+3. Windows expire, tuners run on their assessment interval, and memory is
+   audited: payloads + index structures + backlog + statistics must fit the
+   budget or the run dies (recorded, not raised, so harnesses can compare
+   dead and live schemes).
+
+All index work is charged through the per-state accountants, so different
+index schemes consume the same capacity at different rates — slower schemes
+build backlog, produce fewer outputs per tick, and eventually die of
+memory, which is exactly the behaviour Section V reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.tuner import TuningContext
+from repro.engine.query import Query
+from repro.engine.resources import MemoryBreakdown, MemoryBudgetExceeded, ResourceMeter
+from repro.engine.router import Router
+from repro.engine.stats import RunStats, SelectivityEstimator
+from repro.engine.stem import SteM
+from repro.engine.tuples import JoinedTuple, StreamTuple
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ExecutorConfig:
+    """Knobs of one engine run."""
+
+    assess_interval: int = 50  # ticks between tuning rounds
+    sample_interval: int = 1  # ticks between throughput samples
+    max_fanout: int = 50_000  # cap on partials per hop (guard rail)
+    tune_warmup: int = 0  # ticks before the first tuning round
+
+    def __post_init__(self) -> None:
+        check_positive("assess_interval", self.assess_interval)
+        check_positive("sample_interval", self.sample_interval)
+        check_positive("max_fanout", self.max_fanout)
+
+
+class AMRExecutor:
+    """Runs one query over one workload with one index scheme per state.
+
+    Parameters
+    ----------
+    query:
+        The SPJ query (fixes streams, predicates, window).
+    stems:
+        One :class:`SteM` per stream name.
+    router:
+        Probe-order policy.
+    meter:
+        Virtual clock + memory budget.
+    arrival_rates:
+        ``stream -> λ_d`` (tuples per tick), used for tuning contexts.
+    domain_bits:
+        ``attribute -> value entropy`` handed to the cost model at tuning
+        time.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        stems: dict[str, SteM],
+        router: Router,
+        meter: ResourceMeter,
+        *,
+        arrival_rates: dict[str, float],
+        domain_bits: dict[str, int] | None = None,
+        config: ExecutorConfig | None = None,
+        output_sink=None,
+        event_log=None,
+    ) -> None:
+        missing = set(query.stream_names) - set(stems)
+        if missing:
+            raise ValueError(f"no SteM configured for streams: {sorted(missing)}")
+        self.query = query
+        self.stems = stems
+        self.router = router
+        self.meter = meter
+        self.arrival_rates = dict(arrival_rates)
+        self.domain_bits = dict(domain_bits or {})
+        self.config = config if config is not None else ExecutorConfig()
+
+        self.estimator = SelectivityEstimator()
+        self.stats = RunStats()
+        self.output_sink = output_sink  # callable(list[JoinedTuple]) or None
+        self.event_log = event_log  # repro.engine.tracing.EventLog or None
+        self._queue: deque[StreamTuple] = deque()
+        self._n_streams = len(query.stream_names)
+
+    # ------------------------------------------------------------------ #
+    # cost plumbing
+
+    def _total_index_cost(self) -> float:
+        params = self.meter.params
+        return sum(stem.index.accountant.cost(params) for stem in self.stems.values())
+
+    def _memory_breakdown(self) -> MemoryBreakdown:
+        params = self.meter.params
+        payload = sum(stem.payload_bytes for stem in self.stems.values())
+        index = sum(stem.index.memory_bytes for stem in self.stems.values())
+        backlog = len(self._queue) * params.queue_item_bytes
+        stat_entries = 0
+        for stem in self.stems.values():
+            assessor = getattr(stem.tuner, "assessor", None)
+            if assessor is not None:
+                stat_entries += assessor.entry_count
+        return MemoryBreakdown(
+            state_payload=payload,
+            index_structures=index,
+            backlog=backlog,
+            statistics=stat_entries * params.stat_entry_bytes,
+        )
+
+    @property
+    def backlog(self) -> int:
+        """Queued-but-unprocessed source tuples."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # per-tuple processing
+
+    def _admit_tuple(self, item: StreamTuple) -> bool:
+        """Insert an arriving tuple into its state immediately (maintenance).
+
+        State maintenance is not deferrable — windows must reflect arrivals —
+        so it is charged against the tick even when the tick is already
+        over budget.  Only the *search-request* work (routing + probes) is
+        queued; that is the backlog that piles up when an index scheme cannot
+        keep up, exactly the paper's "backlog of active search requests".
+
+        Returns False when a selection predicate filtered the tuple out
+        (predicate pushdown): it enters neither the state nor the queue.
+        """
+        filters = self.query.filters_for(item.stream)
+        if filters:
+            self.meter.spend(len(filters) * self.meter.params.c_compare)
+            if not self.query.passes_filters(item.stream, item):
+                self.stats.filtered += 1
+                return False
+        cost_before = self._total_index_cost()
+        self.stems[item.stream].insert(item, item.arrived_at)
+        self.stats.source_tuples += 1
+        self.meter.spend(self._total_index_cost() - cost_before)
+        return True
+
+    def _process_tuple(self, item: StreamTuple) -> None:
+        params = self.meter.params
+        cost_before = self._total_index_cost()
+        route = self.router.choose_route(item.stream, self.estimator, item)
+        outputs = 0
+        partials: list[JoinedTuple] = [JoinedTuple.of(item)]
+        joined: set[str] = {item.stream}
+        for target in route:
+            if not partials:
+                break
+            ap, bindings = self.query.probe_spec(joined, target)
+            stem = self.stems[target]
+            next_partials: list[JoinedTuple] = []
+            anchor = (item.arrived_at, item.stream)
+            for partial in partials:
+                values = self.query.probe_values(bindings, partial)
+                outcome = stem.probe(ap, values)
+                self.stats.probes += 1
+                # Timestamp ordering: the arriving tuple joins only with
+                # strictly-older tuples (stream name breaks same-tick ties),
+                # so each join result is produced exactly once — by its
+                # youngest member's probe sequence.
+                matches = [
+                    m for m in outcome.matches if (m.arrived_at, m.stream) < anchor
+                ]
+                self.stats.matches += len(matches)
+                self.estimator.observe(target, ap.mask, len(matches))
+                observe_content = getattr(self.router, "observe_content", None)
+                if observe_content is not None:
+                    bucket = self.router.bucket_for(item, item.stream, target)
+                    observe_content(target, ap.mask, bucket, len(matches))
+                for match in matches:
+                    next_partials.append(partial.extend(match))
+                    if len(next_partials) >= self.config.max_fanout:
+                        break
+                if len(next_partials) >= self.config.max_fanout:
+                    break
+            joined.add(target)
+            partials = next_partials
+        if partials and len(joined) == self._n_streams:
+            outputs = len(partials)
+            self.stats.outputs += outputs
+            if self.output_sink is not None:
+                self.output_sink(partials)
+
+        index_cost = self._total_index_cost() - cost_before
+        self.meter.spend(index_cost + params.c_route + outputs * params.c_output)
+
+    # ------------------------------------------------------------------ #
+    # tick phases
+
+    def _expire_all(self, now: int) -> None:
+        cost_before = self._total_index_cost()
+        for stem in self.stems.values():
+            stem.expire(now)
+        self.meter.spend(self._total_index_cost() - cost_before)
+
+    def _tune_all(self, tick: int = -1) -> None:
+        cost_before = self._total_index_cost()
+        for stem in self.stems.values():
+            context = TuningContext(
+                lambda_d=self.arrival_rates.get(stem.stream, 1.0),
+                window=float(self.query.window),
+                horizon=float(self.config.assess_interval),
+                domain_bits=self.domain_bits,
+            )
+            report = stem.tune(context)
+            if report is not None:
+                self.stats.tuning_rounds += 1
+                if report.migrated:
+                    self.stats.migrations += 1
+                if self.event_log is not None:
+                    kind = "migration" if report.migrated else "tune"
+                    self.event_log.record(
+                        tick,
+                        kind,
+                        stem.stream,
+                        old=report.old_description,
+                        new=report.new_description,
+                        saving=round(report.projected_saving, 1),
+                    )
+        self.meter.spend(self._total_index_cost() - cost_before)
+
+    # ------------------------------------------------------------------ #
+    # the loop
+
+    def run(self, duration: int, arrivals) -> RunStats:
+        """Execute ``duration`` ticks.
+
+        ``arrivals`` is a callable ``tick -> list[StreamTuple]`` (workload
+        generators provide it).  Returns the collected :class:`RunStats`;
+        an out-of-memory death is recorded on the stats, not raised.
+        """
+        check_positive("duration", duration)
+        cfg = self.config
+        for tick in range(duration):
+            self.meter.start_tick()
+            for item in arrivals(tick):
+                if self._admit_tuple(item):
+                    self._queue.append(item)
+            self._expire_all(tick)
+            while self._queue and not self.meter.exhausted:
+                self._process_tuple(self._queue.popleft())
+            if tick >= cfg.tune_warmup and tick > 0 and tick % cfg.assess_interval == 0:
+                self._tune_all(tick)
+            if tick % cfg.sample_interval == 0 or tick == duration - 1:
+                breakdown = self._memory_breakdown()
+                self.stats.sample(tick, self.meter.total_spent, breakdown.total, len(self._queue))
+                try:
+                    self.meter.check_memory(breakdown, tick)
+                except MemoryBudgetExceeded as exc:
+                    self.stats.died_at = tick
+                    self.stats.death_reason = str(exc)
+                    if self.event_log is not None:
+                        self.event_log.record(
+                            tick, "death", None, used=exc.used, budget=exc.budget
+                        )
+                    break
+        return self.stats

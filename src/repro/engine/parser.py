@@ -1,0 +1,240 @@
+"""Parser for the paper's SPJ query template (Figure 2).
+
+The template::
+
+    SELECT <projection list>
+    FROM   <stream> <alias>, <stream> <alias>, ...
+    WHERE  <alias>.<attr> = <alias>.<attr> [AND ...]
+    WINDOW <length>
+
+``parse_query`` turns such text into an executable
+:class:`~repro.engine.query.Query`.  Keywords are case-insensitive and
+clauses may span lines.  Only equi-join conjunctions are supported in WHERE
+(the index structures accelerate equality; see
+:class:`~repro.engine.query.JoinPredicate`), matching the paper's
+evaluation queries.  The projection list is validated but not executed —
+the engine emits full join results, i.e. the template's ``A.*, B.*`` form.
+
+Stream schemas may be supplied explicitly; otherwise each stream's
+attribute set is inferred as exactly the attributes the predicates
+reference, which is sufficient for join processing.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+
+from repro.engine.aggregates import AggregateSpec
+from repro.engine.query import JoinPredicate, Query, SelectionPredicate
+from repro.engine.stream import StreamSchema
+
+DEFAULT_WINDOW_LENGTH = 10
+
+_CLAUSE_RE = re.compile(
+    r"^\s*select\s+(?P<select>.*?)\s+from\s+(?P<from>.*?)"
+    r"(?:\s+where\s+(?P<where>.*?))?"
+    r"(?:\s+window\s+(?P<window>\w+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_PRED_RE = re.compile(
+    r"^\s*(?P<ls>\w+)\.(?P<la>\w+)\s*=\s*(?P<rs>\w+)\.(?P<ra>\w+)\s*$"
+)
+_FILTER_RE = re.compile(
+    r"^\s*(?P<s>\w+)\.(?P<a>\w+)\s*(?P<op>=|!=|<=|>=|<|>)\s*(?P<v>[^\s].*?)\s*$"
+)
+_PROJ_RE = re.compile(r"^\s*(?:(?P<alias>\w+)\.(?P<attr>\w+|\*)|\*)\s*$")
+_AGG_RE = re.compile(
+    r"^\s*(?P<func>count|sum|avg|min|max)\s*\(\s*(?:\*|(?P<alias>\w+)\.(?P<attr>\w+))\s*\)\s*$",
+    re.IGNORECASE,
+)
+
+
+class QueryParseError(ValueError):
+    """Raised when query text does not match the Figure 2 template."""
+
+
+def _parse_from(clause: str) -> dict[str, str]:
+    """FROM clause → alias -> stream name (alias defaults to the name)."""
+    out: dict[str, str] = {}
+    for part in clause.split(","):
+        tokens = part.split()
+        if not tokens or len(tokens) > 2:
+            raise QueryParseError(f"malformed FROM entry: {part.strip()!r}")
+        stream = tokens[0]
+        alias = tokens[1] if len(tokens) == 2 else tokens[0]
+        if alias in out:
+            raise QueryParseError(f"duplicate alias {alias!r} in FROM clause")
+        out[alias] = stream
+    if not out:
+        raise QueryParseError("empty FROM clause")
+    return out
+
+def _parse_constant(text: str) -> object:
+    """Parse a filter constant: int, float, or quoted string."""
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise QueryParseError(
+            f"filter constant {text!r} is not a number or quoted string"
+        ) from None
+
+
+def _parse_where(
+    clause: str, aliases: Mapping[str, str]
+) -> tuple[list[JoinPredicate], list[SelectionPredicate]]:
+    predicates: list[JoinPredicate] = []
+    filters: list[SelectionPredicate] = []
+    for raw in re.split(r"\s+and\s+", clause.strip(), flags=re.IGNORECASE):
+        if not raw.strip():
+            continue
+        m = _PRED_RE.match(raw)
+        # "A.x = 1.5" also matches the join shape (digits are word chars);
+        # treat it as a join only when both sides name known aliases.
+        if m is not None and m.group("rs") in aliases:
+            if m.group("ls") not in aliases:
+                raise QueryParseError(
+                    f"unknown alias {m.group('ls')!r} in predicate {raw.strip()!r}"
+                )
+            predicates.append(
+                JoinPredicate(
+                    aliases[m.group("ls")], m.group("la"), aliases[m.group("rs")], m.group("ra")
+                )
+            )
+            continue
+        f = _FILTER_RE.match(raw)
+        if f is not None:
+            if f.group("s") not in aliases:
+                raise QueryParseError(
+                    f"unknown alias {f.group('s')!r} in predicate {raw.strip()!r}"
+                )
+            join_shape = _PRED_RE.match(raw)
+            if join_shape is not None and not join_shape.group("rs").isdigit():
+                # alias.attr = alias.attr whose right alias is unknown (a
+                # digits-dot-digits right side is a float constant instead).
+                raise QueryParseError(
+                    f"unknown alias {join_shape.group('rs')!r} in predicate {raw.strip()!r}"
+                )
+            filters.append(
+                SelectionPredicate(
+                    aliases[f.group("s")], f.group("a"), f.group("op"), _parse_constant(f.group("v"))
+                )
+            )
+            continue
+        raise QueryParseError(
+            f"unsupported predicate {raw.strip()!r} "
+            "(expected alias.attr = alias.attr or alias.attr <op> constant)"
+        )
+    if not predicates:
+        raise QueryParseError("WHERE clause contains no join predicates")
+    return predicates, filters
+
+
+def _parse_select(
+    clause: str, aliases: Mapping[str, str]
+) -> tuple[list[AggregateSpec], dict[str, set[str]]]:
+    """Validate the projection list; returns any aggregate specs in it.
+
+    Plain projections (``A.*``, ``A.attr``, ``*``) are validated and pass
+    through (the engine always emits full join results); aggregate entries
+    become :class:`AggregateSpec` for an optional
+    :class:`~repro.engine.aggregates.AggregationSink`.
+    """
+    items = [p for p in (s.strip() for s in clause.split(",")) if p]
+    if not items:
+        raise QueryParseError("empty SELECT list")
+    aggregates: list[AggregateSpec] = []
+    agg_attrs: dict[str, set[str]] = {}
+    for item in items:
+        agg = _AGG_RE.match(item)
+        if agg is not None:
+            alias = agg.group("alias")
+            if alias is not None and alias not in aliases:
+                raise QueryParseError(f"unknown alias {alias!r} in SELECT list")
+            func = agg.group("func").lower()
+            attr = agg.group("attr")
+            if func != "count" and attr is None:
+                raise QueryParseError(f"{func}(*) is not meaningful; name an attribute")
+            if alias is not None and attr is not None:
+                agg_attrs.setdefault(aliases[alias], set()).add(attr)
+            aggregates.append(AggregateSpec(func, attr, label=item.lower().replace(" ", "")))
+            continue
+        m = _PROJ_RE.match(item)
+        if m is None:
+            raise QueryParseError(f"unsupported projection {item!r}")
+        alias = m.group("alias")
+        if alias is not None and alias not in aliases:
+            raise QueryParseError(f"unknown alias {alias!r} in SELECT list")
+    return aggregates, agg_attrs
+
+
+def parse_query(
+    text: str,
+    *,
+    schemas: Mapping[str, Sequence[str]] | None = None,
+    name: str = "query",
+    default_window: int = DEFAULT_WINDOW_LENGTH,
+) -> Query:
+    """Parse Figure 2 template text into an executable :class:`Query`.
+
+    Parameters
+    ----------
+    text:
+        The query text (SELECT / FROM / WHERE / WINDOW, case-insensitive).
+    schemas:
+        Optional ``stream name -> attribute names``.  Streams not listed
+        (or when omitted entirely) get schemas inferred from the predicates.
+    name:
+        Query label.
+    default_window:
+        Used when the WINDOW clause is absent (the template's
+        "default-window-length").
+    """
+    m = _CLAUSE_RE.match(text)
+    if m is None:
+        raise QueryParseError("query does not match the SELECT/FROM[/WHERE][/WINDOW] template")
+    aliases = _parse_from(m.group("from"))
+    aggregates, agg_attrs_by_stream = _parse_select(m.group("select"), aliases)
+    if m.group("where") is None:
+        raise QueryParseError("multi-stream SPJ queries require a WHERE clause")
+    predicates, filters = _parse_where(m.group("where"), aliases)
+
+    window_text = m.group("window")
+    if window_text is None:
+        window = default_window
+    else:
+        try:
+            window = int(window_text)
+        except ValueError:
+            raise QueryParseError(f"WINDOW length must be an integer, got {window_text!r}") from None
+
+    # Build schemas: explicit where given, else inferred from predicates.
+    referenced: dict[str, set[str]] = {s: set() for s in aliases.values()}
+    for pred in predicates:
+        referenced[pred.left_stream].add(pred.left_attr)
+        referenced[pred.right_stream].add(pred.right_attr)
+    for filt in filters:
+        referenced[filt.stream].add(filt.attr)
+    for stream, attrs in agg_attrs_by_stream.items():
+        referenced[stream].update(attrs)
+    streams = []
+    for stream in dict.fromkeys(aliases.values()):  # FROM order, de-duplicated
+        if schemas is not None and stream in schemas:
+            attrs = tuple(schemas[stream])
+            missing = referenced[stream] - set(attrs)
+            if missing:
+                raise QueryParseError(
+                    f"stream {stream!r} schema lacks predicate attributes {sorted(missing)}"
+                )
+        else:
+            attrs = tuple(sorted(referenced[stream]))
+        streams.append(StreamSchema(stream, attrs))
+    query = Query(streams, predicates, window=window, name=name, filters=filters)
+    query.aggregates = tuple(aggregates)
+    return query

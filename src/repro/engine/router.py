@@ -1,0 +1,287 @@
+"""Eddy-style adaptive routing (paper refs. [3], [4]).
+
+The router decides, for each arriving tuple, the order in which the other
+states are probed.  Four policies:
+
+- :class:`GreedyAdaptiveRouter` — the AMR default: order the remaining
+  states by expected probe fan-out (most selective first, the classic
+  rate-based eddy heuristic), using the engine's live
+  :class:`~repro.engine.stats.SelectivityEstimator`.  With probability
+  ``explore_prob`` a tuple is sent down a uniformly random route instead —
+  the paper's "periodically the router sends search requests to suboptimal
+  operators to update system statistics", which is precisely what pollutes
+  assessment tables with rare access patterns and motivates compaction.
+- :class:`LotteryRouter` — Eddy's original lottery scheduling: probabilistic
+  hop choice weighted by inverse fan-out, keeping sub-optimal routes
+  continuously sampled.
+- :class:`ContentBasedRouter` — Bizarro et al.'s content-based routing:
+  fan-out estimates conditioned on the arriving tuple's attribute values.
+- :class:`FixedRouter` — a static route (classic fixed query plan), used by
+  tests and ablations.
+
+Routes are full permutations chosen up front per tuple; the probe *pattern*
+at each hop still depends on which streams are already joined, so even a
+fixed route exercises several access patterns per state.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.query import Query
+from repro.engine.stats import SelectivityEstimator
+from repro.utils.bitops import fragment
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_fraction
+
+
+class Router(abc.ABC):
+    """Chooses probe orders for arriving tuples.
+
+    ``item`` (the arriving tuple) is provided so content-based policies can
+    condition the route on attribute values; value-agnostic policies ignore
+    it.
+    """
+
+    @abc.abstractmethod
+    def choose_route(
+        self,
+        source: str,
+        estimator: SelectivityEstimator,
+        item: Mapping[str, object] | None = None,
+    ) -> tuple[str, ...]:
+        """The ordered target states for a tuple arriving on ``source``."""
+
+
+class FixedRouter(Router):
+    """Always probes in one preconfigured order per source stream."""
+
+    def __init__(self, routes: dict[str, Sequence[str]]) -> None:
+        self._routes = {src: tuple(route) for src, route in routes.items()}
+
+    def choose_route(
+        self,
+        source: str,
+        estimator: SelectivityEstimator,
+        item: Mapping[str, object] | None = None,
+    ) -> tuple[str, ...]:
+        try:
+            return self._routes[source]
+        except KeyError:
+            raise KeyError(f"no fixed route configured for source stream {source!r}") from None
+
+
+class GreedyAdaptiveRouter(Router):
+    """Selectivity-greedy routing with ε-exploration.
+
+    At each hop the next target is the not-yet-joined neighbour with the
+    lowest estimated fan-out *for the probe shape that hop would actually
+    use* (which depends on what is already joined).  Exploration sends the
+    whole tuple down a random permutation.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        *,
+        explore_prob: float = 0.05,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        check_fraction("explore_prob", explore_prob)
+        self.query = query
+        self.explore_prob = explore_prob
+        self._rng = make_rng(seed)
+        self._targets = {
+            s: tuple(t for t in query.stream_names if t != s) for s in query.stream_names
+        }
+
+    def choose_route(
+        self,
+        source: str,
+        estimator: SelectivityEstimator,
+        item: Mapping[str, object] | None = None,
+    ) -> tuple[str, ...]:
+        targets = self._targets[source]
+        if len(targets) <= 1:
+            return targets
+        if self.explore_prob > 0 and self._rng.random() < self.explore_prob:
+            order = self._rng.permutation(len(targets))
+            return tuple(targets[i] for i in order)
+        return self._greedy_order(source, targets, estimator)
+
+    def _greedy_order(
+        self, source: str, targets: tuple[str, ...], estimator: SelectivityEstimator
+    ) -> tuple[str, ...]:
+        joined = {source}
+        remaining = list(targets)
+        route: list[str] = []
+        while remaining:
+            best: str | None = None
+            best_score = float("inf")
+            for cand in remaining:
+                try:
+                    ap, _bindings = self.query.probe_spec(joined, cand)
+                except ValueError:
+                    continue  # unconnected at this point; defer
+                score = estimator.expected_matches(cand, ap.mask)
+                if score < best_score:
+                    best, best_score = cand, score
+            if best is None:
+                # Only cross-product hops remain; keep declared order.
+                route.extend(remaining)
+                break
+            route.append(best)
+            remaining.remove(best)
+            joined.add(best)
+        return tuple(route)
+
+
+class LotteryRouter(Router):
+    """Eddy's lottery scheduling (Avnur & Hellerstein, paper ref. [3]).
+
+    Each hop holds a lottery: candidate targets draw tickets proportional to
+    their inverse expected fan-out (operators that consume tuples without
+    producing many outputs accumulate tickets, i.e. are favoured).  Compared
+    with the greedy policy this keeps a continuous trickle of probes flowing
+    through sub-optimal orders — the statistics-refresh behaviour the paper's
+    Section I-B point 1 describes — without a separate exploration branch.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        *,
+        smoothing: float = 1.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be > 0, got {smoothing}")
+        self.query = query
+        self.smoothing = smoothing
+        self._rng = make_rng(seed)
+        self._targets = {
+            s: tuple(t for t in query.stream_names if t != s) for s in query.stream_names
+        }
+
+    def choose_route(
+        self,
+        source: str,
+        estimator: SelectivityEstimator,
+        item: Mapping[str, object] | None = None,
+    ) -> tuple[str, ...]:
+        joined = {source}
+        remaining = list(self._targets[source])
+        route: list[str] = []
+        while remaining:
+            weights = []
+            reachable = []
+            for cand in remaining:
+                try:
+                    ap, _bindings = self.query.probe_spec(joined, cand)
+                except ValueError:
+                    continue
+                fanout = estimator.expected_matches(cand, ap.mask)
+                weights.append(1.0 / (self.smoothing + max(fanout, 0.0)))
+                reachable.append(cand)
+            if not reachable:
+                route.extend(remaining)
+                break
+            total = sum(weights)
+            probs = [w / total for w in weights]
+            pick = reachable[int(self._rng.choice(len(reachable), p=probs))]
+            route.append(pick)
+            remaining.remove(pick)
+            joined.add(pick)
+        return tuple(route)
+
+
+class ContentBasedRouter(Router):
+    """Content-based routing (Bizarro et al., paper ref. [4]).
+
+    "Different plans for different data": the route is conditioned on the
+    arriving tuple's join-attribute *values*, not just aggregate statistics.
+    Fan-out estimates are kept per (target, pattern, value bucket), so a
+    tuple carrying a currently-hot value is routed around the join that
+    would explode for it while ordinary tuples keep the cheap route.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        *,
+        value_bits: int = 3,
+        explore_prob: float = 0.05,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        check_fraction("explore_prob", explore_prob)
+        if value_bits < 1:
+            raise ValueError(f"value_bits must be >= 1, got {value_bits}")
+        self.query = query
+        self.value_bits = value_bits
+        self.explore_prob = explore_prob
+        self._rng = make_rng(seed)
+        self._targets = {
+            s: tuple(t for t in query.stream_names if t != s) for s in query.stream_names
+        }
+        # (target, pattern mask, value bucket) -> EWMA fan-out
+        self._content: dict[tuple[str, int, int], float] = {}
+        self._alpha = 0.1
+
+    def bucket_for(
+        self, item: Mapping[str, object] | None, source: str, target: str
+    ) -> int:
+        """The value bucket routing/feedback uses for this (tuple, hop)."""
+        if item is None:
+            return 0
+        preds = self.query.predicates_between(source, target)
+        if not preds:
+            return 0
+        value = item.get(preds[0].attr_of(source))
+        return fragment(value, self.value_bits) if value is not None else 0
+
+    def observe_content(
+        self, target: str, pattern_mask: int, bucket: int, matches: int
+    ) -> None:
+        """Fold a probe's observed fan-out into its value-bucket estimate."""
+        key = (target, pattern_mask, bucket)
+        prev = self._content.get(key, 1.0)
+        self._content[key] = prev + self._alpha * (matches - prev)
+
+    def choose_route(
+        self,
+        source: str,
+        estimator: SelectivityEstimator,
+        item: Mapping[str, object] | None = None,
+    ) -> tuple[str, ...]:
+        targets = self._targets[source]
+        if len(targets) <= 1:
+            return targets
+        if self.explore_prob > 0 and self._rng.random() < self.explore_prob:
+            order = self._rng.permutation(len(targets))
+            return tuple(targets[i] for i in order)
+        joined = {source}
+        remaining = list(targets)
+        route: list[str] = []
+        while remaining:
+            best: str | None = None
+            best_score = float("inf")
+            for cand in remaining:
+                try:
+                    ap, _bindings = self.query.probe_spec(joined, cand)
+                except ValueError:
+                    continue
+                bucket = self.bucket_for(item, source, cand)
+                key = (cand, ap.mask, bucket)
+                score = self._content.get(key, estimator.expected_matches(cand, ap.mask))
+                if score < best_score:
+                    best, best_score = cand, score
+            if best is None:
+                route.extend(remaining)
+                break
+            route.append(best)
+            remaining.remove(best)
+            joined.add(best)
+        return tuple(route)

@@ -1,0 +1,108 @@
+"""STeM operators (Raman et al., paper ref. [5]).
+
+A STeM (State Module) is the unary join operator owning one stream's state:
+it supports inserting arriving tuples, expiring them when the window slides,
+and locating stored tuples that satisfy a search request's join predicates.
+Which physical index backs the state — AMRI's bit-address index, a set of
+hash access modules, or nothing (full scan) — is exactly what the paper
+varies, so the STeM takes any :class:`~repro.indexes.base.StateIndex` plus
+an optional tuner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner, TuneReport, TuningContext
+from repro.engine.tuples import StreamTuple
+from repro.engine.window import CountWindow, SlidingWindow
+from repro.indexes.base import CostParams, SearchOutcome, StateIndex
+
+Tuner = AMRITuner | HashIndexTuner | NullTuner
+
+
+class SteM:
+    """One stream's state module: window + index + assessment hook.
+
+    Parameters
+    ----------
+    stream:
+        The stream this state stores.
+    jas:
+        The state's join-attribute set (from the query).
+    index:
+        The physical index over the state.
+    window:
+        Either a window length in time units (builds a time-based
+        :class:`SlidingWindow`) or a ready window object (e.g. a
+        :class:`CountWindow`).
+    tuner:
+        Observes probe patterns and periodically retunes the index;
+        :class:`NullTuner` for non-adapting baselines.
+    """
+
+    def __init__(
+        self,
+        stream: str,
+        jas: JoinAttributeSet,
+        index: StateIndex,
+        window: int | SlidingWindow | CountWindow,
+        tuner: Tuner | None = None,
+        cost_params: CostParams | None = None,
+    ) -> None:
+        if index.jas != jas:
+            raise ValueError(f"index JAS {index.jas!r} does not match state JAS {jas!r}")
+        self.stream = stream
+        self.jas = jas
+        self.index = index
+        self.window = SlidingWindow(window) if isinstance(window, int) else window
+        self.tuner = tuner if tuner is not None else NullTuner()
+        self.cost_params = cost_params if cost_params is not None else CostParams()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Live tuples in the state."""
+        return self.index.size
+
+    @property
+    def payload_bytes(self) -> int:
+        """Memory held by stored tuple payloads (index overhead excluded)."""
+        return self.size * self.cost_params.tuple_bytes
+
+    def insert(self, item: StreamTuple, now: int) -> None:
+        """Admit one arriving tuple into window and index.
+
+        Count windows may evict on admission; evicted tuples leave the
+        index immediately.
+        """
+        evicted = self.window.add(item, now)
+        self.index.insert(item)
+        for old in evicted:
+            self.index.remove(old)
+
+    def expire(self, now: int) -> int:
+        """Drop tuples whose window has passed; returns how many."""
+        expired = self.window.expire(now)
+        for item in expired:
+            self.index.remove(item)
+        return len(expired)
+
+    def probe(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
+        """Execute one search request against the state.
+
+        Records the request's access pattern with the tuner's assessor —
+        this is where assessment statistics come from.
+        """
+        self.tuner.observe(ap)
+        return self.index.search(ap, values)
+
+    def tune(self, context: TuningContext) -> TuneReport | None:
+        """Run one tuning round (delegates to the tuner)."""
+        return self.tuner.tune(context)
+
+    def describe(self) -> str:
+        """One-line state summary for logs."""
+        return f"SteM({self.stream}: {self.index.describe()})"

@@ -1,0 +1,29 @@
+"""Stream schemas: the static description of one input stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StreamSchema:
+    """Name and attributes of one data stream.
+
+    ``attributes`` lists every attribute tuples of this stream carry (join
+    attributes and payload alike).  Join attributes are derived from the
+    query's predicates, not declared here.
+    """
+
+    name: str
+    attributes: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stream name must be non-empty")
+        attrs = tuple(self.attributes)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"duplicate attributes in stream {self.name!r}: {attrs}")
+        object.__setattr__(self, "attributes", attrs)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self.attributes

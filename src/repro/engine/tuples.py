@@ -1,0 +1,91 @@
+"""Stream tuples and joined (partial-result) tuples.
+
+Both kinds implement the ``Mapping[str, value]`` protocol the index layer
+expects, so a STeM can store raw stream tuples and probe with either kind.
+``JoinedTuple`` tracks which source tuples it combines, which the executor
+uses to know what a partial result has already joined with (and therefore
+which predicates bind the next probe).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+
+class StreamTuple(Mapping[str, object]):
+    """One tuple from one stream: immutable attribute values plus provenance."""
+
+    __slots__ = ("stream", "arrived_at", "_values")
+
+    def __init__(self, stream: str, arrived_at: int, values: Mapping[str, object]) -> None:
+        self.stream = stream
+        self.arrived_at = arrived_at
+        self._values = dict(values)
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        vals = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"StreamTuple({self.stream}@{self.arrived_at}: {vals})"
+
+
+class JoinedTuple(Mapping[str, object]):
+    """A (partial) join result: merged view over its source tuples.
+
+    Attribute lookup is namespaced-free: a bare attribute name resolves to
+    the value from whichever source stream defines it.  Streams in one query
+    use distinct attribute names except for shared join attributes, whose
+    values are equal across sources by construction (they joined).
+    """
+
+    __slots__ = ("sources", "_values")
+
+    def __init__(self, sources: tuple[StreamTuple, ...]) -> None:
+        if not sources:
+            raise ValueError("a joined tuple needs at least one source")
+        streams = [s.stream for s in sources]
+        if len(set(streams)) != len(streams):
+            raise ValueError(f"duplicate source streams in join: {streams}")
+        self.sources = sources
+        merged: dict[str, object] = {}
+        for src in sources:
+            merged.update(src)
+        self._values = merged
+
+    @classmethod
+    def of(cls, single: StreamTuple) -> "JoinedTuple":
+        """Lift a raw stream tuple into a 1-way partial result."""
+        return cls((single,))
+
+    def extend(self, other: StreamTuple) -> "JoinedTuple":
+        """A new partial result including ``other``."""
+        return JoinedTuple(self.sources + (other,))
+
+    @property
+    def streams(self) -> frozenset[str]:
+        """Names of the streams already joined into this partial."""
+        return frozenset(s.stream for s in self.sources)
+
+    @property
+    def width(self) -> int:
+        """Number of source tuples joined so far."""
+        return len(self.sources)
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"JoinedTuple({'+'.join(sorted(self.streams))}, width={self.width})"

@@ -1,0 +1,93 @@
+"""Sliding-window bookkeeping for one state.
+
+Two window kinds (both with amortised O(1) maintenance, since arrivals are
+monotone in time):
+
+- :class:`SlidingWindow` — time-based (the paper's WINDOW clause): tuples
+  expire a fixed number of time units after arrival, removed by the
+  executor's per-tick :meth:`~SlidingWindow.expire` sweep.
+- :class:`CountWindow` — count-based (a standard DSMS variant): the state
+  holds the N most recent tuples; admission of tuple N+1 evicts the oldest,
+  reported from :meth:`~CountWindow.add` so the caller can unindex it.
+
+Both expose the same protocol: ``add(item, now) -> evicted list`` and
+``expire(now) -> evicted list``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.engine.tuples import StreamTuple
+from repro.utils.validation import check_positive
+
+
+class SlidingWindow:
+    """Time-based sliding window over one stream's tuples."""
+
+    def __init__(self, length: int) -> None:
+        check_positive("length", length)
+        self.length = int(length)
+        self._entries: deque[tuple[int, StreamTuple]] = deque()
+
+    def add(self, item: StreamTuple, now: int) -> list[StreamTuple]:
+        """Admit ``item`` at time ``now``; it expires at ``now + length``.
+
+        Arrival times must be non-decreasing.  Returns the tuples evicted by
+        this admission — always empty for a time window (expiry is driven by
+        :meth:`expire`), present for protocol-compatibility with
+        :class:`CountWindow`.
+        """
+        if self._entries and now < self._entries[-1][0] - self.length:
+            raise ValueError("window arrivals must be in non-decreasing time order")
+        self._entries.append((now + self.length, item))
+        return []
+
+    def expire(self, now: int) -> list[StreamTuple]:
+        """Remove and return every tuple whose expiry time is ``<= now``."""
+        out: list[StreamTuple] = []
+        entries = self._entries
+        while entries and entries[0][0] <= now:
+            out.append(entries.popleft()[1])
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return (item for _exp, item in self._entries)
+
+    def oldest_expiry(self) -> int | None:
+        """Expiry tick of the oldest live tuple (None when empty)."""
+        return self._entries[0][0] if self._entries else None
+
+
+class CountWindow:
+    """Count-based window: keeps only the ``capacity`` most recent tuples."""
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._entries: deque[StreamTuple] = deque()
+
+    def add(self, item: StreamTuple, now: int) -> list[StreamTuple]:
+        """Admit ``item``; returns the tuple evicted to make room (if any)."""
+        self._entries.append(item)
+        if len(self._entries) > self.capacity:
+            return [self._entries.popleft()]
+        return []
+
+    def expire(self, now: int) -> list[StreamTuple]:
+        """Count windows do not expire by time; always empty."""
+        return []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._entries)
+
+    def oldest_expiry(self) -> int | None:
+        """Count windows have no expiry times; always ``None``."""
+        return None

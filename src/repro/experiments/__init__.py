@@ -1,0 +1,35 @@
+"""Experiment harness: quasi-training, scheme comparisons, figure regeneration."""
+
+from repro.experiments.harness import (
+    TrainingResult,
+    run_comparison,
+    run_scheme,
+    train_initial_state,
+)
+from repro.experiments.parallel import RunOutcome, RunSpec, compare_parallel, run_parallel
+from repro.experiments.sweeps import SweepPoint, format_sweep, grid_points, run_sweep
+from repro.experiments.reporting import (
+    format_summary,
+    format_table,
+    format_throughput_figure,
+    improvement_pct,
+)
+
+__all__ = [
+    "RunOutcome",
+    "RunSpec",
+    "SweepPoint",
+    "compare_parallel",
+    "run_parallel",
+    "TrainingResult",
+    "format_sweep",
+    "grid_points",
+    "run_sweep",
+    "format_summary",
+    "format_table",
+    "format_throughput_figure",
+    "improvement_pct",
+    "run_comparison",
+    "run_scheme",
+    "train_initial_state",
+]

@@ -1,0 +1,147 @@
+"""Experiment harness: quasi-training, scheme runs, and comparisons.
+
+Reproduces the paper's protocol (Section V):
+
+1. **Quasi-training** — "the IC on each state ... is initiated by running
+   index selection using statistics gathered by executing the stream for 15
+   minutes".  :func:`train_initial_state` runs the scenario for a training
+   period on a *separate* seed offset with exact (SRIA) assessment, then
+   derives per-state starting ICs (for bit-address schemes) and most-frequent
+   pattern lists (for the hash baseline).
+2. **Measured runs** — :func:`run_scheme` executes one scheme over the
+   shared measured workload and returns its :class:`RunStats`;
+   :func:`run_comparison` runs several schemes over identical arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access_pattern import AccessPattern
+from repro.core.cost_model import WorkloadStatistics
+from repro.core.index_config import IndexConfiguration
+from repro.core.selector import pad_patterns_to_k, select_exhaustive, select_hash_patterns
+from repro.engine.stats import RunStats
+from repro.workloads.scenarios import PaperScenario
+
+TRAINING_SEED_OFFSET = 1_000_003  # decorrelates training data from measured runs
+
+
+@dataclass
+class TrainingResult:
+    """What quasi-training learned, per state."""
+
+    frequencies: dict[str, dict[AccessPattern, float]] = field(default_factory=dict)
+    configs: dict[str, IndexConfiguration] = field(default_factory=dict)
+
+    def hash_patterns(self, k: int) -> dict[str, list[AccessPattern]]:
+        """Per-state module sets: the k most frequent patterns, padded so a
+        trial really starts with k modules (the paper's fixed trial size)."""
+        out = {}
+        for stream, freqs in self.frequencies.items():
+            chosen = select_hash_patterns(freqs, k)
+            jas = next(iter(freqs)).jas if freqs else None
+            out[stream] = pad_patterns_to_k(jas, chosen, k) if jas is not None else chosen
+        return out
+
+
+def train_initial_state(
+    scenario: PaperScenario,
+    *,
+    train_ticks: int = 120,
+    theta: float | None = None,
+) -> TrainingResult:
+    """Run the quasi-training period and derive starting configurations.
+
+    Training uses the AMRI scheme with exact SRIA assessment and unlimited
+    resources so the statistics reflect the workload, not a resource
+    bottleneck, and a distinct seed offset so the measured runs never see
+    the training data.
+    """
+    p = scenario.params
+    executor = scenario.make_executor(
+        "amri:sria",
+        capacity=float("1e12"),
+        memory_budget=1 << 40,
+    )
+    generator = scenario.make_generator(seed_offset=TRAINING_SEED_OFFSET)
+    executor.run(train_ticks, generator)
+
+    theta = p.theta if theta is None else theta
+    result = TrainingResult()
+    domain_bits = scenario.domain_bits()
+    for stream, stem in executor.stems.items():
+        assessor = stem.tuner.assessor
+        freqs = assessor.frequent_patterns(theta)
+        if not freqs:
+            freqs = assessor.frequencies()
+        result.frequencies[stream] = freqs
+        stats = WorkloadStatistics(
+            lambda_d=float(p.rate),
+            lambda_r=max(assessor.n_requests / max(train_ticks, 1), 1.0),
+            window=float(p.window),
+            frequencies=freqs if freqs else {AccessPattern.full_scan(stem.jas): 1.0},
+            domain_bits=domain_bits,
+        )
+        result.configs[stream] = select_exhaustive(
+            stats, stem.jas, p.bit_budget, scenario.cost_params
+        )
+    return result
+
+
+def run_scheme(
+    scenario: PaperScenario,
+    scheme: str,
+    duration: int,
+    *,
+    training: TrainingResult | None = None,
+    hash_k: int | None = None,
+    seed_offset: int = 0,
+    **executor_overrides,
+) -> RunStats:
+    """Execute one scheme for ``duration`` ticks over the measured workload.
+
+    When ``training`` is given, bit-address schemes start from the trained
+    ICs and the hash baseline from the trained most-frequent patterns (the
+    paper's protocol for the Figure 6/7 baselines).
+    """
+    initial_configs = training.configs if training is not None else None
+    initial_hash = None
+    if training is not None and scheme.startswith("hash:"):
+        k = int(scheme.split(":", 1)[1]) if hash_k is None else hash_k
+        initial_hash = training.hash_patterns(k)
+    executor = scenario.make_executor(
+        scheme,
+        initial_configs=initial_configs,
+        initial_hash_patterns=initial_hash,
+        **executor_overrides,
+    )
+    generator = scenario.make_generator(seed_offset=seed_offset)
+    return executor.run(duration, generator)
+
+
+def run_comparison(
+    scenario: PaperScenario,
+    schemes: list[str],
+    duration: int,
+    *,
+    train: bool = True,
+    train_ticks: int = 120,
+    seed_offset: int = 0,
+    **executor_overrides,
+) -> dict[str, RunStats]:
+    """Run several schemes over identical arrivals; returns scheme → stats."""
+    training = (
+        train_initial_state(scenario, train_ticks=train_ticks) if train else None
+    )
+    return {
+        scheme: run_scheme(
+            scenario,
+            scheme,
+            duration,
+            training=training,
+            seed_offset=seed_offset,
+            **executor_overrides,
+        )
+        for scheme in schemes
+    }

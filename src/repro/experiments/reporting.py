@@ -1,0 +1,91 @@
+"""Plain-text reporting for experiment harnesses.
+
+Figures are regenerated as ASCII series tables (this is a library, not a
+plotting package): one row per sampled tick, one column per scheme, plus
+summary tables of the headline comparisons the paper quotes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.engine.stats import RunStats
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a left-padded ASCII table."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            cols[i].append(str(cell))
+    widths = [max(len(cell) for cell in col) for col in cols]
+    lines = []
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def improvement_pct(winner: float, loser: float) -> float:
+    """How many percent more ``winner`` produced than ``loser``."""
+    if loser <= 0:
+        return float("inf") if winner > 0 else 0.0
+    return 100.0 * (winner - loser) / loser
+
+
+def throughput_series(
+    runs: Mapping[str, RunStats], ticks: Sequence[int]
+) -> list[list[object]]:
+    """Rows of cumulative outputs per scheme at each requested tick.
+
+    Dead runs hold their last value (their line goes flat, as in the
+    paper's figures).
+    """
+    rows: list[list[object]] = []
+    for t in ticks:
+        row: list[object] = [t]
+        for stats in runs.values():
+            row.append(stats.outputs_at(t))
+        rows.append(row)
+    return rows
+
+
+def format_throughput_figure(
+    title: str, runs: Mapping[str, RunStats], *, n_points: int = 12
+) -> str:
+    """The standard cumulative-throughput 'figure' as an ASCII table."""
+    horizon = max((s.samples[-1].tick for s in runs.values() if s.samples), default=0)
+    if horizon == 0:
+        return f"{title}\n(no samples)"
+    step = max(horizon // max(n_points - 1, 1), 1)
+    ticks = list(range(0, horizon + 1, step))
+    if ticks[-1] != horizon:
+        ticks.append(horizon)
+    headers = ["tick"] + [
+        name + (" (died)" if not stats.completed else "") for name, stats in runs.items()
+    ]
+    body = format_table(headers, throughput_series(runs, ticks))
+    death_notes = [
+        f"  {name}: out of memory at tick {stats.died_at}"
+        for name, stats in runs.items()
+        if not stats.completed
+    ]
+    parts = [title, body]
+    if death_notes:
+        parts.append("\n".join(death_notes))
+    return "\n".join(parts)
+
+
+def format_summary(
+    title: str, comparisons: Sequence[tuple[str, float, str, float]]
+) -> str:
+    """Headline comparison lines: (winner, value, loser, value) tuples."""
+    lines = [title]
+    for winner, wv, loser, lv in comparisons:
+        pct = improvement_pct(wv, lv)
+        lines.append(f"  {winner} produced {wv:,.0f} vs {loser} {lv:,.0f}  (+{pct:.0f}%)")
+    return "\n".join(lines)

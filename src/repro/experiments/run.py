@@ -1,0 +1,96 @@
+"""Generic experiment runner CLI with CSV export.
+
+``python -m repro.experiments.run --schemes amri:cdia-highest,hash:3,static
+--ticks 400 --csv results/`` runs the named schemes over the paper scenario
+(or the sensor scenario with ``--scenario sensor``) and writes one CSV per
+scheme (tick, cumulative outputs, memory, backlog) plus a summary CSV —
+enough to re-plot any figure outside this repository.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.engine.stats import RunStats
+from repro.experiments.harness import run_scheme, train_initial_state
+from repro.experiments.reporting import format_table, format_throughput_figure
+from repro.workloads.scenarios import PaperScenario, ScenarioParams, sensor_network_scenario
+
+SCENARIOS = ("paper", "sensor")
+
+
+def build_scenario(name: str, seed: int) -> PaperScenario:
+    """Instantiate a named scenario."""
+    if name == "paper":
+        return PaperScenario(ScenarioParams(seed=seed))
+    if name == "sensor":
+        return sensor_network_scenario(seed=seed)
+    raise ValueError(f"unknown scenario {name!r}; expected one of {SCENARIOS}")
+
+
+def write_series_csv(path: Path, stats: RunStats) -> None:
+    """One scheme's throughput series as CSV."""
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["tick", "outputs", "cost_spent", "memory_bytes", "backlog"])
+        for s in stats.samples:
+            writer.writerow([s.tick, s.outputs, f"{s.cost_spent:.1f}", s.memory_bytes, s.backlog])
+
+
+def write_summary_csv(path: Path, runs: dict[str, RunStats]) -> None:
+    """Cross-scheme summary as CSV."""
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["scheme", "outputs", "died_at", "migrations", "probes", "source_tuples"])
+        for name, stats in runs.items():
+            writer.writerow(
+                [name, stats.outputs, stats.died_at, stats.migrations, stats.probes, stats.source_tuples]
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--schemes",
+        default="amri:cdia-highest,static",
+        help="comma-separated list (amri:<assessor> | hash:<k> | static | scan)",
+    )
+    parser.add_argument("--scenario", choices=SCENARIOS, default="paper")
+    parser.add_argument("--ticks", type=int, default=400)
+    parser.add_argument("--train-ticks", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--no-train", action="store_true", help="skip quasi-training")
+    parser.add_argument("--csv", type=Path, default=None, help="directory for CSV export")
+    args = parser.parse_args(argv)
+
+    scenario = build_scenario(args.scenario, args.seed)
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    training = (
+        None if args.no_train else train_initial_state(scenario, train_ticks=args.train_ticks)
+    )
+    runs: dict[str, RunStats] = {}
+    for scheme in schemes:
+        runs[scheme] = run_scheme(scenario, scheme, args.ticks, training=training)
+
+    print(format_throughput_figure(f"{args.scenario} scenario, {args.ticks} ticks", runs))
+    rows = [
+        [name, stats.outputs, stats.died_at if stats.died_at is not None else "-", stats.migrations]
+        for name, stats in runs.items()
+    ]
+    print(format_table(["scheme", "outputs", "died at", "migrations"], rows))
+
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        for name, stats in runs.items():
+            safe = name.replace(":", "_")
+            write_series_csv(args.csv / f"{args.scenario}_{safe}.csv", stats)
+        write_summary_csv(args.csv / f"{args.scenario}_summary.csv", runs)
+        print(f"\nCSV written to {args.csv}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

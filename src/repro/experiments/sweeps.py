@@ -1,0 +1,94 @@
+"""Parameter sweeps: run a grid of scenario variations and tabulate.
+
+Programmatic counterpart to the ablation benchmarks: build a grid of
+:class:`~repro.workloads.scenarios.ScenarioParams` overrides, run one or
+more schemes at each point (identical arrivals per point), and collect a
+result table.  Used for sensitivity analyses beyond the paper's fixed
+setup, e.g.::
+
+    grid = {"explore_prob": [0.0, 0.15, 0.3], "phase_len": [30, 60]}
+    results = run_sweep(grid, schemes=["amri:cdia-highest", "static"], ticks=200)
+    print(format_sweep(results))
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, replace
+
+from repro.engine.stats import RunStats
+from repro.experiments.harness import run_scheme, train_initial_state
+from repro.experiments.reporting import format_table
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's settings and per-scheme results."""
+
+    overrides: Mapping[str, object]
+    runs: Mapping[str, RunStats]
+
+    def outputs(self, scheme: str) -> int:
+        return self.runs[scheme].outputs
+
+
+def grid_points(grid: Mapping[str, Sequence[object]]) -> list[dict[str, object]]:
+    """The cartesian product of a parameter grid, as override dicts."""
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    return [dict(zip(keys, combo)) for combo in itertools.product(*(grid[k] for k in keys))]
+
+
+def run_sweep(
+    grid: Mapping[str, Sequence[object]],
+    *,
+    schemes: Sequence[str],
+    ticks: int,
+    base_params: ScenarioParams | None = None,
+    train: bool = True,
+    train_ticks: int = 60,
+) -> list[SweepPoint]:
+    """Run every scheme at every grid point.
+
+    Overrides are applied to ``base_params`` via dataclass replacement, so
+    any :class:`ScenarioParams` field can be swept.  Runs at one point share
+    arrivals and quasi-training.
+    """
+    if not schemes:
+        raise ValueError("need at least one scheme")
+    base = base_params if base_params is not None else ScenarioParams()
+    points: list[SweepPoint] = []
+    for overrides in grid_points(grid):
+        scenario = PaperScenario(replace(base, **overrides))
+        training = train_initial_state(scenario, train_ticks=train_ticks) if train else None
+        runs = {
+            scheme: run_scheme(scenario, scheme, ticks, training=training)
+            for scheme in schemes
+        }
+        points.append(SweepPoint(overrides=overrides, runs=runs))
+    return points
+
+
+def format_sweep(points: Sequence[SweepPoint]) -> str:
+    """Render sweep results as a table: one row per point, one outputs
+    column per scheme († marks runs that died)."""
+    if not points:
+        return "(empty sweep)"
+    param_keys = list(points[0].overrides)
+    schemes = list(points[0].runs)
+    headers = param_keys + [f"{s} outputs" for s in schemes]
+    rows = []
+    for point in points:
+        row: list[object] = [point.overrides[k] for k in param_keys]
+        for scheme in schemes:
+            stats = point.runs[scheme]
+            mark = "" if stats.completed else "†"
+            row.append(f"{stats.outputs}{mark}")
+        rows.append(row)
+    table = format_table(headers, rows)
+    if any(not p.runs[s].completed for p in points for s in schemes):
+        table += "\n† died (out of memory) before the run ended"
+    return table

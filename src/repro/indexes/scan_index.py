@@ -1,0 +1,60 @@
+"""Unindexed state: every search is a full scan.
+
+The degenerate baseline — what a STeM falls back to when no suitable access
+module exists (Section I-A's ``sr2`` case generalised to every request).
+Useful both as the floor in benchmarks and as the correctness oracle in
+tests (its results define what every other index must return).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.indexes.base import Accountant, CostParams, SearchOutcome, StateIndex
+
+
+class ScanIndex(StateIndex):
+    """Stores items in arrival order; answers every probe by full scan."""
+
+    def __init__(
+        self,
+        jas: JoinAttributeSet,
+        accountant: Accountant | None = None,
+        cost_params: CostParams | None = None,
+    ) -> None:
+        super().__init__(jas, accountant, cost_params)
+        self._items: dict[int, Mapping[str, object]] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self._items)
+
+    def insert(self, item: Mapping[str, object]) -> None:
+        self._items[id(item)] = item
+        self.accountant.inserts += 1
+        self.accountant.index_bytes += self.cost_params.bucket_slot_bytes
+
+    def remove(self, item: Mapping[str, object]) -> None:
+        if id(item) not in self._items:
+            raise KeyError("item was never inserted into this index")
+        del self._items[id(item)]
+        self.accountant.deletes += 1
+        self.accountant.index_bytes -= self.cost_params.bucket_slot_bytes
+
+    def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
+        self._check_probe(ap, values)
+        examined = len(self._items)
+        acct = self.accountant
+        acct.tuples_examined += examined
+        acct.buckets_visited += 1
+        outcome = SearchOutcome(
+            buckets_visited=1, tuples_examined=examined, used_full_scan=True
+        )
+        if ap.is_full_scan:
+            outcome.matches = list(self._items.values())
+        else:
+            outcome.matches = [
+                item for item in self._items.values() if self._matches(item, ap, values)
+            ]
+        return outcome

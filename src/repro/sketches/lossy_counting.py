@@ -1,0 +1,134 @@
+"""Manku–Motwani lossy counting (paper ref. [12]).
+
+The stream is processed in *segments* (the paper's term; Manku & Motwani call
+them buckets) of width ``ceil(1/epsilon)``.  Each tracked entry carries its
+observed count and the maximum undercount ``delta`` it could have accrued
+before being (re-)admitted.  At every segment boundary entries whose
+``count + delta <= current_segment_id`` are evicted.
+
+Guarantees, with ``n`` items seen:
+
+- every item with true frequency ``>= theta * n`` is reported by
+  :meth:`LossyCounting.frequent_items` (no false negatives);
+- no item with true frequency ``< (theta - epsilon) * n`` is reported;
+- estimated counts undercount true counts by at most ``epsilon * n``;
+- at most ``(1/epsilon) * log(epsilon * n)`` entries are retained.
+
+CSRIA (Section IV-C2) is exactly this algorithm applied to ``BR(ap)`` keys.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class LossyCountingEntry:
+    """A tracked item: observed ``count`` plus maximum undercount ``delta``."""
+
+    count: int
+    delta: int
+
+    @property
+    def upper_bound(self) -> int:
+        """Largest possible true count of the item."""
+        return self.count + self.delta
+
+
+class LossyCounting:
+    """ε-approximate frequency counting over a stream of hashable items.
+
+    Parameters
+    ----------
+    epsilon:
+        Maximum relative undercount tolerated.  Segment width is
+        ``ceil(1/epsilon)``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        check_fraction("epsilon", epsilon, inclusive_low=False)
+        self.epsilon = epsilon
+        self.segment_width = math.ceil(1.0 / epsilon)
+        self._entries: dict[Hashable, LossyCountingEntry] = {}
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Number of items offered so far."""
+        return self._n
+
+    @property
+    def current_segment_id(self) -> int:
+        """The segment id ``s_id = ceil(n / segment_width)`` (1-based).
+
+        Equivalently ``floor(epsilon * n)`` rounded up to the containing
+        segment — the paper writes it as ``floor(eps * lambda_r)``; both
+        agree at segment boundaries, where compression runs.
+        """
+        if self._n == 0:
+            return 1
+        return (self._n + self.segment_width - 1) // self.segment_width
+
+    def offer(self, item: Hashable) -> None:
+        """Add one occurrence of ``item``; compress at segment boundaries."""
+        self._n += 1
+        entry = self._entries.get(item)
+        if entry is not None:
+            entry.count += 1
+        else:
+            self._entries[item] = LossyCountingEntry(count=1, delta=self.current_segment_id - 1)
+        if self._n % self.segment_width == 0:
+            self.compress()
+
+    def extend(self, items: Iterable[Hashable]) -> None:
+        """Offer each item of ``items`` once, in order."""
+        for item in items:
+            self.offer(item)
+
+    def compress(self) -> int:
+        """Evict entries with ``count + delta <= current_segment_id``.
+
+        Returns the number of evicted entries.  Normally invoked
+        automatically at segment boundaries but safe to call at any time.
+        """
+        s_id = self.current_segment_id
+        doomed = [item for item, e in self._entries.items() if e.count + e.delta <= s_id]
+        for item in doomed:
+            del self._entries[item]
+        return len(doomed)
+
+    def estimate(self, item: Hashable) -> int:
+        """Lower-bound count estimate for ``item`` (0 if not tracked)."""
+        entry = self._entries.get(item)
+        return entry.count if entry is not None else 0
+
+    def frequent_items(self, theta: float) -> dict[Hashable, float]:
+        """Items whose frequency may reach ``theta``; maps item → estimated frequency.
+
+        An item qualifies when ``count + delta >= (theta - epsilon) * n``,
+        i.e. the classic lossy-counting output rule.  Every item with true
+        frequency ``>= theta`` is guaranteed to appear.
+        """
+        check_fraction("theta", theta)
+        if self._n == 0:
+            return {}
+        cut = (theta - self.epsilon) * self._n
+        return {
+            item: e.count / self._n
+            for item, e in self._entries.items()
+            if e.count + e.delta >= cut
+        }
+
+    def entries(self) -> dict[Hashable, LossyCountingEntry]:
+        """Snapshot of the tracked entries (copies)."""
+        return {item: LossyCountingEntry(e.count, e.delta) for item, e in self._entries.items()}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries

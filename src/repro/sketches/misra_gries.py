@@ -1,0 +1,91 @@
+"""Misra–Gries frequent-elements summary (paper ref. [25]).
+
+The first deterministic heavy-hitter algorithm: with ``k - 1`` counters it
+reports every item whose true frequency exceeds ``n / k`` (and possibly some
+that do not), underestimating each reported count by at most ``n / k``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.utils.validation import check_positive
+
+
+class MisraGries:
+    """Fixed-size frequent-elements summary.
+
+    Parameters
+    ----------
+    k:
+        Capacity parameter; the summary keeps at most ``k - 1`` counters and
+        guarantees that every item with true count ``> n / k`` survives, where
+        ``n`` is the number of items offered so far.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = k
+        self._counters: dict[Hashable, int] = {}
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Number of items offered so far."""
+        return self._n
+
+    def offer(self, item: Hashable, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item`` to the summary."""
+        check_positive("count", count)
+        self._n += count
+        counters = self._counters
+        if item in counters:
+            counters[item] += count
+            return
+        if len(counters) < self.k - 1:
+            counters[item] = count
+            return
+        # Decrement-all step.  With a weighted offer we decrement by the
+        # largest amount that keeps the new item's residual non-negative.
+        decrement = min(count, min(counters.values()))
+        remaining = count - decrement
+        for key in list(counters):
+            counters[key] -= decrement
+            if counters[key] <= 0:
+                del counters[key]
+        if remaining > 0:
+            # Recurse: capacity may have been freed by the decrement sweep.
+            self.offer(item, remaining)
+            self._n -= remaining  # offer() recounted it
+
+    def extend(self, items: Iterable[Hashable]) -> None:
+        """Offer each item of ``items`` once."""
+        for item in items:
+            self.offer(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Lower-bound estimate of ``item``'s count (0 if not tracked)."""
+        return self._counters.get(item, 0)
+
+    def frequent_items(self, threshold: float) -> dict[Hashable, int]:
+        """Items whose estimated frequency is at least ``threshold``.
+
+        Guaranteed to include every item with *true* frequency
+        ``> threshold + 1/k`` and to exclude nothing with estimated frequency
+        above the threshold.
+        """
+        if self._n == 0:
+            return {}
+        cut = threshold * self._n
+        return {item: c for item, c in self._counters.items() if c >= cut}
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._counters
+
+    def items(self) -> dict[Hashable, int]:
+        """Snapshot of all tracked (item, lower-bound count) pairs."""
+        return dict(self._counters)

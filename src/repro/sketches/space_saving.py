@@ -1,0 +1,88 @@
+"""SpaceSaving summary (Metwally et al.), an alternative compaction backend.
+
+Keeps exactly ``capacity`` counters.  When a new item arrives and the summary
+is full, the item *replaces* the minimum counter and inherits its count as
+overestimation error.  Counts are therefore upper bounds (contrast with
+Misra–Gries / lossy counting, whose counts are lower bounds).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class _Counter:
+    count: int
+    error: int  # overestimation bound inherited at admission
+
+
+class SpaceSaving:
+    """Fixed-capacity counter summary with overestimating counts."""
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._counters: dict[Hashable, _Counter] = {}
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Number of items offered so far."""
+        return self._n
+
+    def offer(self, item: Hashable) -> None:
+        """Add one occurrence of ``item``."""
+        self._n += 1
+        counters = self._counters
+        entry = counters.get(item)
+        if entry is not None:
+            entry.count += 1
+            return
+        if len(counters) < self.capacity:
+            counters[item] = _Counter(count=1, error=0)
+            return
+        # Replace the minimum counter.
+        victim = min(counters, key=lambda k: counters[k].count)
+        floor = counters[victim].count
+        del counters[victim]
+        counters[item] = _Counter(count=floor + 1, error=floor)
+
+    def extend(self, items: Iterable[Hashable]) -> None:
+        """Offer each item of ``items`` once, in order."""
+        for item in items:
+            self.offer(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Upper-bound count estimate for ``item`` (0 if not tracked)."""
+        entry = self._counters.get(item)
+        return entry.count if entry is not None else 0
+
+    def guaranteed_count(self, item: Hashable) -> int:
+        """Lower-bound count (estimate minus admission error)."""
+        entry = self._counters.get(item)
+        return entry.count - entry.error if entry is not None else 0
+
+    def frequent_items(self, theta: float) -> dict[Hashable, float]:
+        """Items whose upper-bound frequency is at least ``theta``.
+
+        Every item with true frequency ``>= theta`` is present (counts only
+        overestimate), though some reported items may be spurious.
+        """
+        if self._n == 0:
+            return {}
+        cut = theta * self._n
+        return {item: c.count / self._n for item, c in self._counters.items() if c.count >= cut}
+
+    def items(self) -> dict[Hashable, int]:
+        """Snapshot of (item, upper-bound count) pairs."""
+        return {item: c.count for item, c in self._counters.items()}
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._counters

@@ -1,0 +1,36 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the repository (workload generators, the
+router's exploration policy, CDIA's random-combination strategy) takes an
+explicit seed or ``numpy.random.Generator`` so that experiment runs are fully
+reproducible.  ``derive_seed`` produces independent child seeds from a parent
+seed and a string label, which keeps parallel components decorrelated without
+global state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bitops import splitmix64, stable_value_hash
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an int seed, or
+    ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(parent_seed: int, label: str, index: int = 0) -> int:
+    """Derive a deterministic 63-bit child seed from a parent seed + label.
+
+    Independent labels (or indices) give decorrelated child streams; the same
+    (parent, label, index) triple always gives the same child.
+    """
+    mixed = splitmix64(parent_seed ^ stable_value_hash(label) ^ splitmix64(index))
+    return mixed & ((1 << 63) - 1)

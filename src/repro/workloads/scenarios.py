@@ -1,0 +1,327 @@
+"""Canned experiment scenarios — Section V's setup as a builder.
+
+The paper's evaluation uses one scenario throughout: a 4-way join across 4
+streams, every pair of streams joined on its own attribute, so each state
+has 3 join attributes and 7 possible access patterns; each state's index
+gets a 64-bit configuration; drift in join selectivities keeps the router
+(and therefore the access-pattern mix) moving.
+
+:class:`PaperScenario` bundles the query, the drifting generator, and the
+factory methods that assemble an executor for any index scheme:
+
+- ``"amri:<assessor>"`` — bit-address index + AMRI tuner, assessor one of
+  ``sria | csria | dia | cdia-random | cdia-highest``;
+- ``"hash:<k>"`` — k hash access modules with adaptive conventional
+  selection (CDIA-highest assessment), the state-of-the-art baseline;
+- ``"static"`` — non-adapting bit-address index (tuning off);
+- ``"inverted"`` — per-attribute exact inverted lists (untunable extra baseline);
+- ``"scan"`` — no index at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.access_pattern import AccessPattern
+from repro.core.assessment import CDIA, make_assessor
+from repro.core.bit_index import BitAddressIndex
+from repro.core.index_config import IndexConfiguration, uniform_configuration
+from repro.core.selector import IndexSelector, select_hash_patterns
+from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner
+from repro.engine.executor import AMRExecutor, ExecutorConfig
+from repro.engine.query import JoinPredicate, Query
+from repro.engine.resources import ResourceMeter
+from repro.engine.router import (
+    ContentBasedRouter,
+    FixedRouter,
+    GreedyAdaptiveRouter,
+    LotteryRouter,
+    Router,
+)
+from repro.engine.stem import SteM
+from repro.engine.stream import StreamSchema
+from repro.indexes.base import Accountant, CostParams
+from repro.indexes.hash_index import MultiHashIndex
+from repro.indexes.inverted_index import InvertedListIndex
+from repro.indexes.scan_index import ScanIndex
+from repro.indexes.static_bitmap import StaticBitmapIndex
+from repro.utils.rng import derive_seed
+from repro.workloads.generators import (
+    SyntheticStreamGenerator,
+    diurnal_burst_modulation,
+    rotating_hotspot_schedules,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Tunable knobs of the paper scenario (defaults match DESIGN.md)."""
+
+    stream_names: tuple[str, ...] = ("A", "B", "C", "D")
+    rate: int = 12  # tuples per stream per tick (λ_d)
+    window: int = 20  # ticks
+    phase_len: int = 60  # drift phase length in ticks
+    # Value distribution: every join attribute draws Zipf-skewed values
+    # over a fixed 256-value domain; the hot attribute's stronger skew makes
+    # joins on it explode (match prob ≈ 1/2.5) while cold attributes stay
+    # selective (≈ 1/23).  Calibrated so the 4-way join yields ≈0.9 outputs
+    # per source tuple and so that specialising the IC genuinely pays.
+    domain: int = 256  # distinct values per join attribute (8 bits entropy)
+    hot_skew: float = 2.0  # Zipf exponent of the currently-hot attribute
+    cold_skew: float = 1.0  # Zipf exponent of the others
+    bit_budget: int = 64  # IC width per state (the paper's 64 bits)
+    theta: float = 0.1  # assessment threshold (paper: 0.1)
+    epsilon: float = 0.05  # assessment error rate (paper's delta = 0.05)
+    assess_interval: int = 40  # ticks between tuning rounds
+    explore_prob: float = 0.15  # router exploration rate (suboptimal probes)
+    router: str = "greedy"  # routing policy: greedy | lottery | content | fixed
+    capacity: float = 19_000.0  # cost units per tick: above tuned-AMRI demand, below mistuned demand
+    memory_budget: int = 380_000  # bytes: above AMRI's burst peak (~310k); hash/static cross under load
+    seed: int = 7
+
+    @property
+    def stream_pairs(self) -> tuple[tuple[str, str], ...]:
+        """Every unordered stream pair, in combination order."""
+        return tuple(itertools.combinations(self.stream_names, 2))
+
+    @property
+    def pair_attributes(self) -> tuple[str, ...]:
+        """One join attribute per unordered stream pair, e.g. ``AB``.
+
+        Single-character stream names concatenate (matching the paper-style
+        ``AB`` naming); longer names join with an underscore.
+        """
+        return tuple(self.attribute_for_pair(a, b) for a, b in self.stream_pairs)
+
+    @staticmethod
+    def attribute_for_pair(a: str, b: str) -> str:
+        """The shared join attribute name for streams ``a`` and ``b``."""
+        a, b = sorted((a, b))
+        return f"{a}{b}" if len(a) == 1 and len(b) == 1 else f"{a}_{b}"
+
+
+class PaperScenario:
+    """The Section V experimental setup, ready to instantiate per scheme."""
+
+    def __init__(self, params: ScenarioParams | None = None) -> None:
+        self.params = params if params is not None else ScenarioParams()
+        p = self.params
+
+        stream_attrs = {s: [] for s in p.stream_names}
+        predicates = []
+        for (left, right), attr in zip(p.stream_pairs, p.pair_attributes):
+            stream_attrs[left].append(attr)
+            stream_attrs[right].append(attr)
+            predicates.append(JoinPredicate(left, attr, right, attr))
+        streams = [StreamSchema(s, tuple(attrs)) for s, attrs in stream_attrs.items()]
+        self.query = Query(
+            streams, predicates, window=p.window, name=f"paper-{len(p.stream_names)}way"
+        )
+
+        self.schedules = rotating_hotspot_schedules(
+            p.pair_attributes,
+            phase_len=p.phase_len,
+            domain=p.domain,
+            hot_skew=p.hot_skew,
+            cold_skew=p.cold_skew,
+        )
+        self.cost_params = CostParams()
+
+    # ------------------------------------------------------------------ #
+    # workload
+
+    #: optional (stream, tick) -> multiplier applied to arrival rates
+    rate_modulation = None
+
+    def make_generator(self, *, seed_offset: int = 0) -> SyntheticStreamGenerator:
+        """A fresh arrival generator (identical across schemes per offset)."""
+        p = self.params
+        return SyntheticStreamGenerator(
+            {s: self.query.schema(s).attributes for s in p.stream_names},
+            self.schedules,
+            {s: p.rate for s in p.stream_names},
+            rate_modulation=self.rate_modulation,
+            seed=derive_seed(p.seed, "generator", seed_offset),
+        )
+
+    def domain_bits(self) -> dict[str, int]:
+        """Value-entropy caps for the cost model."""
+        return self.make_generator().domain_bits()
+
+    # ------------------------------------------------------------------ #
+    # stem factories
+
+    def default_config(self, stream: str) -> IndexConfiguration:
+        """Uninformed starting IC: budget spread evenly over the JAS."""
+        return uniform_configuration(self.query.jas_for(stream), self.params.bit_budget)
+
+    def _selector(self, stream: str) -> IndexSelector:
+        return IndexSelector(
+            self.query.jas_for(stream), self.params.bit_budget, self.cost_params
+        )
+
+    def build_stems(
+        self,
+        scheme: str,
+        *,
+        initial_configs: dict[str, IndexConfiguration] | None = None,
+        initial_hash_patterns: dict[str, list[AccessPattern]] | None = None,
+    ) -> dict[str, SteM]:
+        """Assemble one SteM per stream for the named index scheme."""
+        p = self.params
+        stems: dict[str, SteM] = {}
+        for i, stream in enumerate(p.stream_names):
+            jas = self.query.jas_for(stream)
+            acct = Accountant()
+            seed = derive_seed(p.seed, f"assessor:{stream}", i)
+            config = (initial_configs or {}).get(stream, self.default_config(stream))
+
+            if scheme.startswith("amri:"):
+                assessor_name = scheme.split(":", 1)[1]
+                index = BitAddressIndex(config, acct, self.cost_params)
+                tuner = AMRITuner(
+                    index,
+                    make_assessor(assessor_name, jas, epsilon=p.epsilon, seed=seed),
+                    self._selector(stream),
+                    theta=p.theta,
+                    params=self.cost_params,
+                )
+            elif scheme.startswith("hash:"):
+                k = int(scheme.split(":", 1)[1])
+                patterns = (initial_hash_patterns or {}).get(stream)
+                if patterns is None:
+                    # Default modules: the k single-attribute patterns first,
+                    # then pairs — a reasonable uninformed starting set.
+                    singles = [
+                        AccessPattern.from_attributes(jas, [a]) for a in jas.names
+                    ]
+                    pairs = [
+                        AccessPattern.from_attributes(jas, list(combo))
+                        for combo in itertools.combinations(jas.names, 2)
+                    ]
+                    alls = [AccessPattern.all_attributes(jas)]
+                    patterns = (singles + pairs + alls)[:k]
+                index = MultiHashIndex(jas, patterns, acct, self.cost_params)
+                tuner = HashIndexTuner(
+                    index,
+                    CDIA(jas, p.epsilon, combine="highest_count", seed=seed),
+                    k=k,
+                    theta=p.theta,
+                )
+            elif scheme == "static":
+                index = StaticBitmapIndex(config, acct, self.cost_params)
+                tuner = NullTuner(make_assessor("sria", jas))
+            elif scheme == "inverted":
+                index = InvertedListIndex(jas, acct, self.cost_params)
+                tuner = NullTuner(make_assessor("sria", jas))
+            elif scheme == "scan":
+                index = ScanIndex(jas, acct, self.cost_params)
+                tuner = NullTuner(make_assessor("sria", jas))
+            else:
+                raise ValueError(
+                    f"unknown scheme {scheme!r}; expected amri:<assessor>, hash:<k>, static, inverted, or scan"
+                )
+            stems[stream] = SteM(
+                stream, jas, index, p.window, tuner, cost_params=self.cost_params
+            )
+        return stems
+
+    # ------------------------------------------------------------------ #
+    # routing
+
+    def make_router(self, *, explore_prob: float | None = None) -> Router:
+        """Build the scenario's routing policy (``params.router``)."""
+        p = self.params
+        seed = derive_seed(p.seed, "router")
+        prob = p.explore_prob if explore_prob is None else explore_prob
+        if p.router == "greedy":
+            return GreedyAdaptiveRouter(self.query, explore_prob=prob, seed=seed)
+        if p.router == "lottery":
+            return LotteryRouter(self.query, seed=seed)
+        if p.router == "content":
+            return ContentBasedRouter(self.query, explore_prob=prob, seed=seed)
+        if p.router == "fixed":
+            names = self.query.stream_names
+            return FixedRouter({s: [t for t in names if t != s] for s in names})
+        raise ValueError(
+            f"unknown router {p.router!r}; expected greedy, lottery, content, or fixed"
+        )
+
+    # ------------------------------------------------------------------ #
+    # executors
+
+    def make_executor(
+        self,
+        scheme: str,
+        *,
+        initial_configs: dict[str, IndexConfiguration] | None = None,
+        initial_hash_patterns: dict[str, list[AccessPattern]] | None = None,
+        capacity: float | None = None,
+        memory_budget: int | None = None,
+        explore_prob: float | None = None,
+        assess_interval: int | None = None,
+    ) -> AMRExecutor:
+        """A ready-to-run executor for the named scheme."""
+        p = self.params
+        stems = self.build_stems(
+            scheme,
+            initial_configs=initial_configs,
+            initial_hash_patterns=initial_hash_patterns,
+        )
+        router = self.make_router(
+            explore_prob=p.explore_prob if explore_prob is None else explore_prob
+        )
+        meter = ResourceMeter(
+            params=self.cost_params,
+            capacity=p.capacity if capacity is None else capacity,
+            memory_budget=p.memory_budget if memory_budget is None else memory_budget,
+        )
+        config = ExecutorConfig(
+            assess_interval=p.assess_interval if assess_interval is None else assess_interval,
+        )
+        return AMRExecutor(
+            self.query,
+            stems,
+            router,
+            meter,
+            arrival_rates={s: float(p.rate) for s in p.stream_names},
+            domain_bits=self.domain_bits(),
+            config=config,
+        )
+
+
+def sensor_network_scenario(
+    *,
+    seed: int = 17,
+    rate: int = 8,
+    window: int = 12,
+    phase_len: int = 80,
+) -> PaperScenario:
+    """A sensor-network flavoured scenario (extension beyond Section V).
+
+    The IPPS paper's own evaluation is synthetic-only; its companion tech
+    report adds real sensor data we do not have.  This scenario is the
+    closest synthetic equivalent: a 3-way join of *readings*, *alerts*, and
+    *maintenance* events, pairwise correlated (each state has 2 join
+    attributes), with diurnally modulated, bursty arrivals on top of the
+    usual selectivity drift.  Bursts stress exactly what the paper's OOM
+    arguments are about: transient backlog against the memory budget.
+    """
+    # A 3-way join is far less selective than the 4-way evaluation query
+    # (two predicates instead of six gate each result), so the windows are
+    # shorter and the hot skew milder to keep output rates comparable.
+    scenario = PaperScenario(
+        ScenarioParams(
+            stream_names=("readings", "alerts", "maint"),
+            rate=rate,
+            window=window,
+            phase_len=phase_len,
+            hot_skew=1.4,
+            seed=seed,
+            capacity=2_600.0,
+            memory_budget=330_000,
+        )
+    )
+    scenario.rate_modulation = diurnal_burst_modulation()
+    return scenario

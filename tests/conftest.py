@@ -1,0 +1,48 @@
+"""Shared fixtures for the AMRI reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.lattice import AccessPatternLattice
+
+
+@pytest.fixture
+def jas3() -> JoinAttributeSet:
+    """The canonical 3-attribute JAS used by the paper's examples."""
+    return JoinAttributeSet(["A", "B", "C"])
+
+
+@pytest.fixture
+def jas4() -> JoinAttributeSet:
+    return JoinAttributeSet(["A", "B", "C", "D"])
+
+
+@pytest.fixture
+def lattice3(jas3) -> AccessPatternLattice:
+    return AccessPatternLattice(jas3)
+
+
+@pytest.fixture
+def ap3(jas3):
+    """Pattern factory over jas3: ap3('A', 'C') -> <A,*,C>."""
+
+    def make(*names: str) -> AccessPattern:
+        return AccessPattern.from_attributes(jas3, names)
+
+    return make
+
+
+@pytest.fixture
+def table2_frequencies(ap3):
+    """The Table II worked-example frequency table."""
+    return {
+        ap3("A"): 0.04,
+        ap3("B"): 0.10,
+        ap3("C"): 0.10,
+        ap3("A", "B"): 0.04,
+        ap3("A", "C"): 0.16,
+        ap3("B", "C"): 0.10,
+        ap3("A", "B", "C"): 0.46,
+    }

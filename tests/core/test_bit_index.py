@@ -1,0 +1,283 @@
+"""Tests for the AMRI bit-address index, including an oracle equivalence
+property: every search must return exactly what a full scan returns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.bit_index import BitAddressIndex, make_bit_index
+from repro.core.index_config import IndexConfiguration
+from repro.indexes.base import Accountant
+from repro.indexes.scan_index import ScanIndex
+
+
+def make_items(n, *, mod=(7, 3, 5)):
+    return [{"A": i % mod[0], "B": i % mod[1], "C": i % mod[2]} for i in range(n)]
+
+
+@pytest.fixture
+def index(jas3):
+    return make_bit_index(jas3, {"A": 5, "B": 2, "C": 3})
+
+
+class TestStorage:
+    def test_insert_and_size(self, index):
+        for item in make_items(10):
+            index.insert(item)
+        assert index.size == 10
+
+    def test_remove(self, index):
+        items = make_items(10)
+        for item in items:
+            index.insert(item)
+        index.remove(items[3])
+        assert index.size == 9
+
+    def test_remove_unknown_raises(self, index):
+        with pytest.raises(KeyError):
+            index.remove({"A": 1, "B": 1, "C": 1})
+
+    def test_equal_items_are_distinct(self, index):
+        # Identity-based storage: two equal dicts are two stored tuples.
+        a, b = {"A": 1, "B": 1, "C": 1}, {"A": 1, "B": 1, "C": 1}
+        index.insert(a)
+        index.insert(b)
+        assert index.size == 2
+        index.remove(a)
+        assert index.size == 1
+
+    def test_items_iterates_all(self, index):
+        items = make_items(20)
+        for item in items:
+            index.insert(item)
+        assert sorted(map(id, index.items())) == sorted(map(id, items))
+
+    def test_bucket_cleanup_on_empty(self, jas3):
+        idx = make_bit_index(jas3, {"A": 8, "B": 8, "C": 8})
+        item = {"A": 1, "B": 2, "C": 3}
+        idx.insert(item)
+        assert idx.bucket_count == 1
+        idx.remove(item)
+        assert idx.bucket_count == 0
+        assert idx.memory_bytes == 0
+
+    def test_memory_grows_and_shrinks(self, index):
+        items = make_items(50)
+        for item in items:
+            index.insert(item)
+        peak = index.memory_bytes
+        assert peak > 0
+        for item in items:
+            index.remove(item)
+        assert index.memory_bytes == 0
+
+
+class TestSearch:
+    def test_exact_pattern_search(self, index, ap3):
+        items = make_items(100)
+        for item in items:
+            index.insert(item)
+        out = index.search(ap3("A", "B", "C"), {"A": 3, "B": 1, "C": 2})
+        expected = [i for i in items if i["A"] == 3 and i["B"] == 1 and i["C"] == 2]
+        assert len(out.matches) == len(expected)
+
+    def test_partial_pattern_search(self, index, ap3):
+        items = make_items(100)
+        for item in items:
+            index.insert(item)
+        out = index.search(ap3("B"), {"B": 2})
+        assert len(out.matches) == sum(1 for i in items if i["B"] == 2)
+
+    def test_full_scan_pattern_returns_all(self, index, ap3):
+        for item in make_items(30):
+            index.insert(item)
+        out = index.search(ap3(), {})
+        assert len(out.matches) == 30
+        assert out.used_full_scan
+
+    def test_missing_probe_value_raises(self, index, ap3):
+        with pytest.raises(KeyError):
+            index.search(ap3("A"), {"B": 1})
+
+    def test_foreign_pattern_raises(self, index):
+        foreign = AccessPattern.from_attributes(JoinAttributeSet(["X"]), ["X"])
+        with pytest.raises(ValueError):
+            index.search(foreign, {"X": 1})
+
+    def test_indexed_probe_examines_fewer(self, jas3, ap3):
+        idx = make_bit_index(jas3, {"A": 6, "B": 0, "C": 0})
+        items = make_items(200, mod=(64, 3, 5))
+        for item in items:
+            idx.insert(item)
+        indexed = idx.search(ap3("A"), {"A": 10})
+        unindexed = idx.search(ap3("B"), {"B": 1})
+        assert indexed.tuples_examined < unindexed.tuples_examined
+        assert unindexed.tuples_examined == idx.size  # no bits on B: full scan
+
+    def test_empty_index_search(self, index, ap3):
+        out = index.search(ap3("A"), {"A": 1})
+        assert out.matches == []
+        assert out.tuples_examined == 0
+
+
+class TestCostAccounting:
+    def test_insert_charges_hashes(self, jas3):
+        acct = Accountant()
+        idx = BitAddressIndex(IndexConfiguration(jas3, [4, 4, 0]), acct)
+        idx.insert({"A": 1, "B": 2, "C": 3})
+        assert acct.hashes == 2  # only the two bitted attributes
+        assert acct.inserts == 1
+
+    def test_search_charges_request_hashes(self, index, ap3):
+        acct = index.accountant
+        before = acct.hashes
+        index.search(ap3("A", "C"), {"A": 1, "C": 2})
+        assert acct.hashes - before == 2
+
+    def test_wildcard_bucket_visit_charge(self, jas3, ap3):
+        idx = make_bit_index(jas3, {"A": 2, "B": 3, "C": 0})
+        items = make_items(200, mod=(4, 8, 2))
+        for item in items:
+            idx.insert(item)
+        live = idx.bucket_count
+        before = idx.accountant.buckets_visited
+        idx.search(ap3("A"), {"A": 1})  # wildcard over B's 3 bits
+        visited = idx.accountant.buckets_visited - before
+        assert visited == min(2**3, live)
+
+    def test_degenerate_wildcard_capped_at_live_buckets(self, jas3, ap3):
+        idx = make_bit_index(jas3, {"A": 2, "B": 30, "C": 30})
+        for item in make_items(50):
+            idx.insert(item)
+        out = idx.search(ap3("A"), {"A": 1})
+        assert out.buckets_visited <= idx.bucket_count
+
+
+class TestMigration:
+    def test_preserves_content(self, jas3, ap3):
+        idx = make_bit_index(jas3, {"A": 5, "B": 2, "C": 3})
+        items = make_items(150)
+        for item in items:
+            idx.insert(item)
+        report = idx.reconfigure(IndexConfiguration(jas3, {"B": 4, "C": 4}))
+        assert report.tuples_moved == 150
+        out = idx.search(ap3("A", "C"), {"A": 3, "C": 2})
+        expected = [i for i in items if i["A"] == 3 and i["C"] == 2]
+        assert len(out.matches) == len(expected)
+
+    def test_migration_charges_moves(self, jas3):
+        idx = make_bit_index(jas3, {"A": 4, "B": 0, "C": 0})
+        for item in make_items(30):
+            idx.insert(item)
+        acct_before = idx.accountant.snapshot()
+        idx.reconfigure(IndexConfiguration(jas3, {"C": 4}))
+        assert idx.accountant.moves - acct_before.moves == 30
+        assert idx.accountant.inserts == acct_before.inserts  # not fresh inserts
+
+    def test_migration_to_same_config(self, jas3):
+        cfg = IndexConfiguration(jas3, [2, 2, 2])
+        idx = BitAddressIndex(cfg)
+        for item in make_items(10):
+            idx.insert(item)
+        report = idx.reconfigure(cfg)
+        assert report.tuples_moved == 10  # still a relocation pass
+        assert idx.size == 10
+
+    def test_rejects_foreign_jas(self, jas3):
+        idx = make_bit_index(jas3, [1, 1, 1])
+        with pytest.raises(ValueError):
+            idx.reconfigure(IndexConfiguration(JoinAttributeSet(["X"]), [4]))
+
+    def test_remove_after_migration(self, jas3):
+        idx = make_bit_index(jas3, {"A": 4})
+        items = make_items(20)
+        for item in items:
+            idx.insert(item)
+        idx.reconfigure(IndexConfiguration(jas3, {"C": 4}))
+        idx.remove(items[0])
+        assert idx.size == 19
+
+
+# --------------------------------------------------------------------- #
+# oracle equivalence property
+
+
+values_strategy = st.fixed_dictionaries(
+    {"A": st.integers(0, 8), "B": st.integers(0, 4), "C": st.integers(0, 6)}
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(values_strategy, max_size=80),
+    bits=st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 6)),
+    mask=st.integers(0, 7),
+    probe=values_strategy,
+)
+def test_search_matches_full_scan_oracle(items, bits, mask, probe):
+    """For any configuration, pattern, and probe, the bit-address index
+    returns exactly the items a naive full scan returns."""
+    jas = JoinAttributeSet(["A", "B", "C"])
+    idx = BitAddressIndex(IndexConfiguration(jas, list(bits)))
+    oracle = ScanIndex(jas)
+    stored = [dict(v) for v in items]
+    for item in stored:
+        idx.insert(item)
+        oracle.insert(item)
+    ap = AccessPattern.from_mask(jas, mask)
+    got = idx.search(ap, probe)
+    want = oracle.search(ap, probe)
+    assert sorted(map(id, got.matches)) == sorted(map(id, want.matches))
+    # The indexed search never examines more tuples than the scan.
+    assert got.tuples_examined <= want.tuples_examined
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    items=st.lists(values_strategy, max_size=60),
+    bits1=st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+    bits2=st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+    mask=st.integers(1, 7),
+    probe=values_strategy,
+)
+def test_migration_preserves_search_semantics(items, bits1, bits2, mask, probe):
+    """Searching after IC1 -> IC2 migration equals searching a fresh IC2 index."""
+    jas = JoinAttributeSet(["A", "B", "C"])
+    migrated = BitAddressIndex(IndexConfiguration(jas, list(bits1)))
+    fresh = BitAddressIndex(IndexConfiguration(jas, list(bits2)))
+    stored = [dict(v) for v in items]
+    for item in stored:
+        migrated.insert(item)
+        fresh.insert(item)
+    migrated.reconfigure(IndexConfiguration(jas, list(bits2)))
+    ap = AccessPattern.from_mask(jas, mask)
+    got = migrated.search(ap, probe)
+    want = fresh.search(ap, probe)
+    assert sorted(map(id, got.matches)) == sorted(map(id, want.matches))
+    assert migrated.bucket_count == fresh.bucket_count
+
+
+class TestMalformedInput:
+    def test_insert_missing_attribute_raises(self, jas3):
+        idx = make_bit_index(jas3, [2, 2, 2])
+        with pytest.raises(KeyError):
+            idx.insert({"A": 1, "B": 2})  # C missing
+
+    def test_partial_insert_leaves_no_trace(self, jas3, ap3):
+        """A failed insert must not corrupt the index."""
+        idx = make_bit_index(jas3, [2, 2, 2])
+        try:
+            idx.insert({"A": 1})
+        except KeyError:
+            pass
+        assert idx.size == 0
+        good = {"A": 1, "B": 2, "C": 3}
+        idx.insert(good)
+        out = idx.search(ap3("A"), {"A": 1})
+        assert len(out.matches) == 1
+
+    def test_unhashable_value_raises(self, jas3):
+        idx = make_bit_index(jas3, [2, 2, 2])
+        with pytest.raises(TypeError):
+            idx.insert({"A": [1, 2], "B": 0, "C": 0})

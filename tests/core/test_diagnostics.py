@@ -1,0 +1,116 @@
+"""Tests for index health diagnostics."""
+
+import pytest
+
+from repro.core.assessment import SRIA
+from repro.core.bit_index import make_bit_index
+from repro.core.diagnostics import (
+    format_report,
+    inspect_index,
+    inspect_state,
+)
+from repro.core.selector import IndexSelector
+
+
+def fill(index, n=120):
+    for i in range(n):
+        index.insert({"A": i % 30, "B": (i * 7) % 20, "C": i % 4})
+
+
+class TestInspectIndex:
+    def test_empty_index(self, jas3):
+        snap = inspect_index(make_bit_index(jas3, [2, 2, 2]))
+        assert snap.size == 0
+        assert snap.bucket_count == 0
+        assert snap.largest_bucket == 0
+        assert snap.mean_bucket_size == 0.0
+
+    def test_filled_index(self, jas3):
+        idx = make_bit_index(jas3, [4, 3, 2])
+        fill(idx)
+        snap = inspect_index(idx)
+        assert snap.size == 120
+        assert snap.bucket_count == idx.bucket_count
+        assert snap.occupancy_skew >= 1.0
+        assert snap.largest_bucket >= 1
+        assert snap.memory_bytes == idx.memory_bytes
+        assert snap.mean_bucket_size == pytest.approx(120 / idx.bucket_count)
+
+
+class TestInspectState:
+    def test_without_requests(self, jas3):
+        idx = make_bit_index(jas3, [2, 2, 2])
+        snap = inspect_state("A", idx, SRIA(jas3))
+        assert snap.n_requests == 0
+        assert snap.current_cd is None
+        assert snap.staleness == 0.0
+
+    def test_staleness_detects_mistuned_index(self, jas3, ap3):
+        # All bits on C, but the workload only ever probes A.
+        idx = make_bit_index(jas3, {"C": 8})
+        fill(idx)
+        assessor = SRIA(jas3)
+        for _ in range(200):
+            assessor.record(ap3("A"))
+        snap = inspect_state(
+            "A",
+            idx,
+            assessor,
+            lambda_d=10,
+            lambda_r=20,
+            window=12,
+            domain_bits={"A": 5, "B": 5, "C": 2},
+            selector=IndexSelector(jas3, 16),
+        )
+        assert snap.current_cd is not None and snap.best_cd is not None
+        assert snap.staleness > 0.3
+        assert snap.best_config.bits_for_attribute("A") > 0
+
+    def test_well_tuned_index_not_stale(self, jas3, ap3):
+        idx = make_bit_index(jas3, {"A": 5})
+        fill(idx)
+        assessor = SRIA(jas3)
+        for _ in range(200):
+            assessor.record(ap3("A"))
+        snap = inspect_state(
+            "A",
+            idx,
+            assessor,
+            lambda_d=10,
+            lambda_r=20,
+            window=12,
+            domain_bits={"A": 5, "B": 5, "C": 2},
+            selector=IndexSelector(jas3, 5),
+        )
+        assert snap.staleness < 0.05
+
+    def test_scan_fraction_range(self, jas3, ap3):
+        idx = make_bit_index(jas3, [2, 2, 2])
+        fill(idx)
+        assessor = SRIA(jas3)
+        for _ in range(50):
+            assessor.record(ap3("B"))
+        snap = inspect_state("A", idx, assessor, lambda_d=5, window=10)
+        assert 0.0 <= snap.scan_fraction <= 1.0
+
+
+class TestFormatReport:
+    def test_report_lines(self, jas3, ap3):
+        idx = make_bit_index(jas3, {"C": 6})
+        fill(idx)
+        assessor = SRIA(jas3)
+        for _ in range(100):
+            assessor.record(ap3("A"))
+        snap = inspect_state(
+            "A",
+            idx,
+            assessor,
+            lambda_d=10,
+            lambda_r=10,
+            window=10,
+            domain_bits={"A": 5},
+            selector=IndexSelector(jas3, 8),
+        )
+        report = format_report([snap])
+        assert "state" in report and "IC(" in report
+        assert "selector would choose" in report

@@ -1,0 +1,82 @@
+"""Tests for the search-benefit lattice (Figure 4 structure)."""
+
+import pytest
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.lattice import AccessPatternLattice
+
+
+class TestStructure:
+    def test_node_count(self, lattice3):
+        assert len(lattice3) == 8
+
+    def test_top_and_bottom(self, lattice3, ap3):
+        assert lattice3.top == ap3()
+        assert lattice3.bottom == ap3("A", "B", "C")
+
+    def test_height(self, lattice3):
+        assert lattice3.height == 4
+
+    def test_levels_binomial(self, lattice3):
+        # Level sizes follow C(3, k): 1, 3, 3, 1 — Figure 4's shape.
+        assert [len(lattice3.level(k)) for k in range(4)] == [1, 3, 3, 1]
+
+    def test_edge_count(self, lattice3):
+        # n * 2^(n-1) benefit edges for n attributes.
+        assert lattice3.edge_count() == 3 * 4
+
+    def test_node_by_mask(self, lattice3, ap3):
+        assert lattice3.node(0b101) == ap3("A", "C")
+
+    def test_iter_orders(self, lattice3):
+        top_down = list(lattice3.iter_top_down())
+        bottom_up = list(lattice3.iter_bottom_up())
+        assert top_down[0] == lattice3.top
+        assert bottom_up[0] == lattice3.bottom
+        levels = [n.level() for n in top_down]
+        assert levels == sorted(levels)
+
+    def test_four_attribute_lattice(self, jas4):
+        lat = AccessPatternLattice(jas4)
+        assert len(lat) == 16
+        assert lat.height == 5
+        assert lat.edge_count() == 4 * 8
+
+
+class TestRelations:
+    def test_parents_children_symmetry(self, lattice3):
+        for node in lattice3:
+            for parent in lattice3.parents(node):
+                assert node in lattice3.children(parent)
+
+    def test_is_ancestor_strict(self, lattice3, ap3):
+        assert lattice3.is_ancestor(ap3("A"), ap3("A", "B"))
+        assert not lattice3.is_ancestor(ap3("A"), ap3("A"))
+        assert not lattice3.is_ancestor(ap3("A", "B"), ap3("A"))
+
+    def test_descendants_ancestors(self, lattice3, ap3):
+        assert set(lattice3.descendants(ap3("A"))) == {
+            ap3("A", "B"),
+            ap3("A", "C"),
+            ap3("A", "B", "C"),
+        }
+        assert set(lattice3.ancestors(ap3("A", "B"))) == {ap3("A"), ap3("B"), ap3()}
+
+    def test_top_benefits_everything(self, lattice3):
+        top = lattice3.top
+        assert len(lattice3.descendants(top)) == len(lattice3) - 1
+
+    def test_rejects_foreign_pattern(self, lattice3):
+        foreign = AccessPattern.from_attributes(JoinAttributeSet(["X"]), ["X"])
+        with pytest.raises(ValueError):
+            lattice3.parents(foreign)
+
+    def test_rejects_foreign_lattice_jas(self, jas3):
+        lat = AccessPatternLattice(jas3)
+        assert lat.jas == jas3
+        with pytest.raises(ValueError):
+            lat.depth(AccessPattern.from_attributes(JoinAttributeSet(["X", "Y"]), ["X"]))
+
+    def test_contains(self, lattice3, ap3):
+        assert ap3("A") in lattice3
+        assert "not a pattern" not in lattice3

@@ -1,0 +1,167 @@
+"""Tests for index-configuration selection (and the Table II validation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.cost_model import WorkloadStatistics, estimate_cd
+from repro.core.index_config import IndexConfiguration
+from repro.core.selector import (
+    IndexSelector,
+    allocation_count,
+    enumerate_allocations,
+    select_exhaustive,
+    select_greedy,
+    select_hash_patterns,
+)
+
+
+def make_stats(freqs, **kw):
+    defaults = dict(lambda_d=100.0, lambda_r=100.0, window=10.0)
+    defaults.update(kw)
+    return WorkloadStatistics(frequencies=freqs, **defaults)
+
+
+class TestEnumeration:
+    def test_small_case(self):
+        allocs = list(enumerate_allocations([1, 1], 2))
+        assert set(allocs) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_budget_respected(self):
+        for alloc in enumerate_allocations([5, 5, 5], 4):
+            assert sum(alloc) <= 4
+
+    def test_caps_respected(self):
+        for alloc in enumerate_allocations([2, 1, 0], 10):
+            assert alloc[0] <= 2 and alloc[1] <= 1 and alloc[2] == 0
+
+    def test_count_matches(self):
+        caps, budget = [3, 2, 4], 5
+        assert allocation_count(caps, budget) == len(list(enumerate_allocations(caps, budget)))
+
+    @given(
+        caps=st.lists(st.integers(0, 4), min_size=1, max_size=4),
+        budget=st.integers(0, 8),
+    )
+    def test_count_property(self, caps, budget):
+        assert allocation_count(caps, budget) == len(list(enumerate_allocations(caps, budget)))
+
+
+class TestExhaustiveSelection:
+    def test_single_hot_pattern_gets_all_useful_bits(self, jas3, ap3):
+        stats = make_stats({ap3("A"): 1.0}, domain_bits={"A": 6})
+        best = select_exhaustive(stats, jas3, 16)
+        assert best.bits_for_attribute("A") == 6
+        assert best.bits_for_attribute("B") == 0
+        assert best.bits_for_attribute("C") == 0
+
+    def test_respects_budget(self, jas3, ap3):
+        stats = make_stats({ap3("A", "B", "C"): 1.0})
+        best = select_exhaustive(stats, jas3, 5)
+        assert best.total_bits <= 5
+
+    def test_tie_breaks_to_fewer_bits(self, jas3, ap3):
+        # A pattern over a 1-value domain: bits are useless, the all-zero
+        # allocation must win the tie.
+        stats = make_stats({ap3("A"): 1.0}, domain_bits={"A": 0, "B": 0, "C": 0})
+        best = select_exhaustive(stats, jas3, 8)
+        assert best.total_bits == 0
+
+    def test_zero_budget(self, jas3, ap3):
+        stats = make_stats({ap3("A"): 1.0})
+        assert select_exhaustive(stats, jas3, 0).total_bits == 0
+
+
+class TestTable2Validation:
+    """The paper's own worked example validates the model + selector."""
+
+    def test_full_statistics_optimum(self, jas3, table2_frequencies):
+        stats = make_stats(table2_frequencies)
+        best = select_exhaustive(stats, jas3, 4)
+        assert best == IndexConfiguration(jas3, {"A": 1, "B": 1, "C": 2})
+
+    def test_csria_truncated_optimum(self, jas3, table2_frequencies):
+        truncated = {ap: f for ap, f in table2_frequencies.items() if f >= 0.05}
+        stats = make_stats(truncated)
+        best = select_exhaustive(stats, jas3, 4)
+        assert best == IndexConfiguration(jas3, {"B": 1, "C": 3})
+
+    def test_full_beats_truncated_on_true_workload(self, jas3, table2_frequencies):
+        """The IC chosen from full statistics must serve the true workload
+        at least as cheaply as the IC chosen from truncated statistics."""
+        stats_true = make_stats(table2_frequencies)
+        ic_full = select_exhaustive(stats_true, jas3, 4)
+        truncated = {ap: f for ap, f in table2_frequencies.items() if f >= 0.05}
+        ic_trunc = select_exhaustive(make_stats(truncated), jas3, 4)
+        assert estimate_cd(ic_full, stats_true) <= estimate_cd(ic_trunc, stats_true)
+
+
+class TestGreedySelection:
+    def test_matches_exhaustive_on_easy_case(self, jas3, ap3):
+        stats = make_stats({ap3("A"): 0.9, ap3("B"): 0.1}, domain_bits={"A": 8, "B": 8, "C": 8})
+        greedy = select_greedy(stats, jas3, 10)
+        exact = select_exhaustive(stats, jas3, 10)
+        assert estimate_cd(greedy, stats) <= estimate_cd(exact, stats) * 1.15
+
+    def test_stops_when_no_improvement(self, jas3, ap3):
+        stats = make_stats({ap3("A"): 1.0}, domain_bits={"A": 3})
+        best = select_greedy(stats, jas3, 64)
+        assert best.total_bits <= 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        weights=st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3),
+        budget=st.integers(1, 12),
+    )
+    def test_greedy_never_worse_than_empty(self, weights, budget):
+        jas = JoinAttributeSet(["A", "B", "C"])
+        freqs = {
+            AccessPattern.from_mask(jas, m + 1): w
+            for m, w in enumerate(weights)
+        }
+        stats = make_stats(freqs, domain_bits={"A": 8, "B": 8, "C": 8})
+        greedy = select_greedy(stats, jas, budget)
+        empty = IndexConfiguration(jas, [0, 0, 0])
+        assert estimate_cd(greedy, stats) <= estimate_cd(empty, stats)
+
+
+class TestIndexSelector:
+    def test_uses_exhaustive_for_small_space(self, jas3, ap3):
+        sel = IndexSelector(jas3, 6)
+        stats = make_stats({ap3("A"): 1.0}, domain_bits={"A": 4})
+        assert sel.select(stats) == select_exhaustive(stats, jas3, 6)
+
+    def test_falls_back_to_greedy(self, ap3):
+        jas = JoinAttributeSet([f"a{i}" for i in range(8)])
+        sel = IndexSelector(jas, 32, exhaustive_limit=100)
+        ap = AccessPattern.from_attributes(jas, ["a0"])
+        stats = make_stats({ap: 1.0}, domain_bits={"a0": 6})
+        best = sel.select(stats)
+        assert best.bits_for_attribute("a0") == 6
+
+    def test_rejects_negative_budget(self, jas3):
+        with pytest.raises(ValueError):
+            IndexSelector(jas3, -1)
+
+
+class TestHashPatternSelection:
+    def test_top_k_by_frequency(self, jas3, table2_frequencies):
+        top = select_hash_patterns(table2_frequencies, 2)
+        freqs = sorted(table2_frequencies.values(), reverse=True)
+        assert [table2_frequencies[p] for p in top] == freqs[:2]
+
+    def test_excludes_full_scan(self, jas3, ap3):
+        top = select_hash_patterns({ap3(): 0.9, ap3("A"): 0.1}, 2)
+        assert top == [ap3("A")]
+
+    def test_deterministic_tie_break(self, jas3, ap3):
+        top = select_hash_patterns({ap3("B"): 0.5, ap3("A"): 0.5}, 1)
+        assert top == [ap3("A")]  # lower mask wins
+
+    def test_k_larger_than_patterns(self, jas3, ap3):
+        assert len(select_hash_patterns({ap3("A"): 1.0}, 5)) == 1
+
+    def test_rejects_bad_k(self, jas3, ap3):
+        with pytest.raises(ValueError):
+            select_hash_patterns({ap3("A"): 1.0}, 0)

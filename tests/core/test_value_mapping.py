@@ -1,0 +1,148 @@
+"""Tests for value-to-fragment mapping strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.bit_index import BitAddressIndex
+from repro.core.index_config import IndexConfiguration
+from repro.core.value_mapping import (
+    EquiDepthValueMapper,
+    HashValueMapper,
+    occupancy_skew,
+)
+from repro.utils.bitops import fragment
+from repro.workloads.generators import zipf_weights
+
+
+class TestHashValueMapper:
+    def test_matches_default_fragment(self):
+        m = HashValueMapper()
+        for v in range(50):
+            assert m("any", v, 5) == fragment(v, 5)
+
+
+class TestEquiDepthValueMapper:
+    def test_uniform_sample_splits_evenly(self):
+        m = EquiDepthValueMapper({"x": range(1024)})
+        frags = [m("x", v, 3) for v in range(1024)]
+        counts = np.bincount(frags, minlength=8)
+        assert counts.min() >= 100  # ~128 each
+
+    def test_skewed_sample_balances_mass(self):
+        """Zipf-distributed values land more evenly than hash mapping.
+
+        Skew 0.9 keeps the heaviest single value under one fragment's fair
+        share; a heavier hitter's mass is irreducible by *any* deterministic
+        key map (equal values must share a bucket), which bounds how much
+        equi-depth can help at higher skews.
+        """
+        rng = np.random.default_rng(0)
+        domain, bits = 4096, 4
+        w = zipf_weights(domain, 0.9)
+        sample = rng.choice(domain, size=20_000, p=w)
+        m = EquiDepthValueMapper({"x": sample})
+        test = rng.choice(domain, size=20_000, p=w)
+
+        def skew_of(mapper):
+            counts = np.zeros(2**bits, dtype=int)
+            for v in test:
+                counts[mapper("x", int(v), bits)] += 1
+            return occupancy_skew(list(counts))
+
+        assert skew_of(m) < skew_of(HashValueMapper()) * 0.7
+
+    def test_unknown_attribute_falls_back_to_hash(self):
+        m = EquiDepthValueMapper({"x": [1, 2, 3]})
+        assert not m.has_sample("y")
+        assert m("y", 7, 4) == fragment(7, 4)
+
+    def test_zero_bits(self):
+        m = EquiDepthValueMapper({"x": [1, 2, 3]})
+        assert m("x", 99, 0) == 0
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            EquiDepthValueMapper({"x": []})
+
+    def test_from_tuples(self):
+        m = EquiDepthValueMapper.from_tuples(
+            ["a", "b"], [{"a": 1, "b": 10}, {"a": 2, "b": 20}]
+        )
+        assert m.has_sample("a") and m.has_sample("b")
+
+    def test_deterministic(self):
+        m = EquiDepthValueMapper({"x": range(100)})
+        assert m("x", 42, 4) == m("x", 42, 4)
+
+    @given(
+        sample=st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+        value=st.integers(0, 1000),
+        bits=st.integers(1, 6),
+    )
+    def test_fragment_in_range(self, sample, value, bits):
+        m = EquiDepthValueMapper({"x": sample})
+        assert 0 <= m("x", value, bits) < 2**bits
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sample=st.lists(st.integers(0, 50), min_size=4, max_size=100),
+        bits=st.integers(1, 4),
+    )
+    def test_monotone_in_value(self, sample, bits):
+        """Larger values never map to smaller fragments (quantile order)."""
+        m = EquiDepthValueMapper({"x": sample})
+        frags = [m("x", v, bits) for v in range(51)]
+        assert frags == sorted(frags)
+
+
+class TestMapperInsideIndex:
+    def test_search_correct_with_equi_depth(self, jas3, ap3):
+        """The oracle property holds under a non-default mapper."""
+        rng = np.random.default_rng(1)
+        items = [
+            {"A": int(rng.integers(0, 30)), "B": int(rng.integers(0, 10)), "C": 0}
+            for _ in range(200)
+        ]
+        mapper = EquiDepthValueMapper(
+            {"A": [i["A"] for i in items], "B": [i["B"] for i in items]}
+        )
+        idx = BitAddressIndex(
+            IndexConfiguration(jas3, {"A": 3, "B": 2}), value_mapper=mapper
+        )
+        for item in items:
+            idx.insert(item)
+        out = idx.search(ap3("A", "B"), {"A": 5, "B": 3})
+        expected = [i for i in items if i["A"] == 5 and i["B"] == 3]
+        assert len(out.matches) == len(expected)
+        # removal still works (same key computed)
+        idx.remove(items[0])
+        assert idx.size == 199
+
+    def test_equi_depth_flattens_buckets(self, jas3):
+        rng = np.random.default_rng(2)
+        w = zipf_weights(512, 1.5)
+        values = rng.choice(512, size=2_000, p=w)
+        items = [{"A": int(v), "B": 0, "C": 0} for v in values]
+        cfg = IndexConfiguration(jas3, {"A": 4})
+        hashed = BitAddressIndex(cfg)
+        depth = BitAddressIndex(
+            cfg, value_mapper=EquiDepthValueMapper({"A": [i["A"] for i in items]})
+        )
+        for item in items:
+            hashed.insert(item)
+            depth.insert(item)
+        assert occupancy_skew(depth.bucket_sizes()) < occupancy_skew(hashed.bucket_sizes())
+
+
+class TestOccupancySkew:
+    def test_even_is_one(self):
+        assert occupancy_skew([5, 5, 5]) == 1.0
+
+    def test_empty_is_one(self):
+        assert occupancy_skew([]) == 1.0
+
+    def test_skewed_greater(self):
+        assert occupancy_skew([10, 0, 0]) == pytest.approx(3.0)

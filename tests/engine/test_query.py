@@ -1,0 +1,150 @@
+"""Tests for the SPJ query model: JAS derivation and probe specs."""
+
+import pytest
+
+from repro.core.access_pattern import AccessPattern
+from repro.engine.query import JoinPredicate, Query
+from repro.engine.stream import StreamSchema
+
+
+def paper_query(window=10):
+    """The Section V topology: 4 streams, one shared attribute per pair."""
+    pairs = ["AB", "AC", "AD", "BC", "BD", "CD"]
+    streams = [
+        StreamSchema(s, tuple(p for p in pairs if s in p)) for s in "ABCD"
+    ]
+    predicates = [JoinPredicate(p[0], p, p[1], p) for p in pairs]
+    return Query(streams, predicates, window=window)
+
+
+class TestJoinPredicate:
+    def test_involves_and_attr(self):
+        p = JoinPredicate("A", "x", "B", "y")
+        assert p.involves("A") and p.involves("B") and not p.involves("C")
+        assert p.attr_of("A") == "x" and p.attr_of("B") == "y"
+
+    def test_other_side(self):
+        p = JoinPredicate("A", "x", "B", "y")
+        assert p.other_side("A") == ("B", "y")
+        assert p.other_side("B") == ("A", "x")
+
+    def test_rejects_non_equality(self):
+        with pytest.raises(ValueError):
+            JoinPredicate("A", "x", "B", "y", op="<")
+
+    def test_rejects_self_join(self):
+        with pytest.raises(ValueError):
+            JoinPredicate("A", "x", "A", "y")
+
+    def test_attr_of_unknown_stream(self):
+        with pytest.raises(ValueError):
+            JoinPredicate("A", "x", "B", "y").attr_of("C")
+
+    def test_str(self):
+        assert str(JoinPredicate("A", "x", "B", "y")) == "A.x = B.y"
+
+
+class TestQueryValidation:
+    def test_rejects_unknown_stream_in_predicate(self):
+        with pytest.raises(ValueError, match="unknown stream"):
+            Query(
+                [StreamSchema("A", ("x",))],
+                [JoinPredicate("A", "x", "B", "y")],
+                window=5,
+            )
+
+    def test_rejects_unknown_attribute(self):
+        with pytest.raises(ValueError, match="no attribute"):
+            Query(
+                [StreamSchema("A", ("x",)), StreamSchema("B", ("y",))],
+                [JoinPredicate("A", "z", "B", "y")],
+                window=5,
+            )
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            paper_query(window=0)
+
+    def test_rejects_duplicate_streams(self):
+        with pytest.raises(ValueError):
+            Query(
+                [StreamSchema("A", ("x",)), StreamSchema("A", ("x",))],
+                [],
+                window=5,
+            )
+
+    def test_rejects_stream_without_predicate(self):
+        with pytest.raises(ValueError, match="no join predicate"):
+            Query(
+                [StreamSchema("A", ("x",)), StreamSchema("B", ("x",)), StreamSchema("C", ("c",))],
+                [JoinPredicate("A", "x", "B", "x")],
+                window=5,
+            )
+
+
+class TestJASDerivation:
+    def test_paper_topology(self):
+        q = paper_query()
+        # Each state's JAS: the 3 pair attributes naming that stream.
+        assert list(q.jas_for("A").names) == ["AB", "AC", "AD"]
+        assert list(q.jas_for("C").names) == ["AC", "BC", "CD"]
+
+    def test_neighbours(self):
+        q = paper_query()
+        assert q.neighbours("A") == ("B", "C", "D")
+
+    def test_predicates_between(self):
+        q = paper_query()
+        preds = q.predicates_between("A", "B")
+        assert len(preds) == 1
+        assert preds[0].attr_of("A") == "AB"
+
+
+class TestProbeSpec:
+    """Route position determines the access pattern — the core AMR fact."""
+
+    def test_first_hop_single_attribute(self):
+        q = paper_query()
+        ap, bindings = q.probe_spec({"A"}, "B")
+        assert ap == AccessPattern.from_attributes(q.jas_for("B"), ["AB"])
+        assert bindings == (("AB", "AB"),)
+
+    def test_second_hop_two_attributes(self):
+        q = paper_query()
+        ap, _ = q.probe_spec({"A", "C"}, "B")
+        assert set(ap.attributes) == {"AB", "BC"}
+
+    def test_last_hop_all_attributes(self):
+        q = paper_query()
+        ap, _ = q.probe_spec({"A", "C", "D"}, "B")
+        assert set(ap.attributes) == {"AB", "BC", "BD"}
+
+    def test_rejects_already_joined_target(self):
+        q = paper_query()
+        with pytest.raises(ValueError):
+            q.probe_spec({"A", "B"}, "B")
+
+    def test_rejects_cross_product(self):
+        streams = [
+            StreamSchema("A", ("x",)),
+            StreamSchema("B", ("x", "y")),
+            StreamSchema("C", ("y",)),
+        ]
+        preds = [JoinPredicate("A", "x", "B", "x"), JoinPredicate("B", "y", "C", "y")]
+        q = Query(streams, preds, window=5)
+        with pytest.raises(ValueError, match="no predicate binds"):
+            q.probe_spec({"A"}, "C")
+
+    def test_probe_values_resolution(self):
+        q = paper_query()
+        ap, bindings = q.probe_spec({"A"}, "B")
+        values = q.probe_values(bindings, {"AB": 42, "AC": 1, "AD": 2})
+        assert values == {"AB": 42}
+
+    def test_probe_values_cross_attribute_names(self):
+        # Differently named attributes on the two sides.
+        streams = [StreamSchema("A", ("ka",)), StreamSchema("B", ("kb",))]
+        q = Query(streams, [JoinPredicate("A", "ka", "B", "kb")], window=5)
+        ap, bindings = q.probe_spec({"A"}, "B")
+        assert bindings == (("kb", "ka"),)
+        assert q.probe_values(bindings, {"ka": 9}) == {"kb": 9}

@@ -1,0 +1,86 @@
+"""Tests for run statistics and the selectivity estimator."""
+
+import pytest
+
+from repro.engine.stats import RunStats, SelectivityEstimator
+
+
+class TestRunStats:
+    def test_sampling(self):
+        rs = RunStats()
+        rs.outputs = 5
+        rs.sample(0, cost_spent=10.0, memory_bytes=100, backlog=2)
+        rs.outputs = 9
+        rs.sample(10, cost_spent=20.0, memory_bytes=110, backlog=0)
+        assert [s.outputs for s in rs.samples] == [5, 9]
+
+    def test_outputs_at(self):
+        rs = RunStats()
+        for tick, outs in [(0, 1), (10, 5), (20, 9)]:
+            rs.outputs = outs
+            rs.sample(tick, 0.0, 0, 0)
+        assert rs.outputs_at(0) == 1
+        assert rs.outputs_at(15) == 5
+        assert rs.outputs_at(99) == 9
+
+    def test_outputs_at_before_first_sample(self):
+        rs = RunStats()
+        rs.outputs = 4
+        rs.sample(10, 0.0, 0, 0)
+        assert rs.outputs_at(5) == 0
+
+    def test_completed_and_death(self):
+        rs = RunStats()
+        assert rs.completed
+        rs.died_at = 42
+        assert not rs.completed
+
+    def test_final_tick(self):
+        rs = RunStats()
+        assert rs.final_tick() == 0
+        rs.sample(7, 0.0, 0, 0)
+        assert rs.final_tick() == 7
+
+
+class TestSelectivityEstimator:
+    def test_default_optimistic(self):
+        est = SelectivityEstimator(initial=2.5)
+        assert est.expected_matches("B", 1) == 2.5
+
+    def test_ewma_moves_toward_observations(self):
+        est = SelectivityEstimator(alpha=0.5, initial=0.0)
+        est.observe("B", 1, 10)
+        assert est.expected_matches("B", 1) == 5.0
+        est.observe("B", 1, 10)
+        assert est.expected_matches("B", 1) == 7.5
+
+    def test_keys_are_independent(self):
+        est = SelectivityEstimator(alpha=1.0)
+        est.observe("B", 1, 100)
+        est.observe("B", 3, 0)
+        est.observe("C", 1, 7)
+        assert est.expected_matches("B", 1) == 100
+        assert est.expected_matches("B", 3) == 0
+        assert est.expected_matches("C", 1) == 7
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            SelectivityEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            SelectivityEstimator(alpha=1.5)
+
+    def test_adapts_to_drift(self):
+        est = SelectivityEstimator(alpha=0.2)
+        for _ in range(50):
+            est.observe("B", 1, 100)
+        assert est.expected_matches("B", 1) == pytest.approx(100, rel=0.05)
+        for _ in range(50):
+            est.observe("B", 1, 2)
+        assert est.expected_matches("B", 1) == pytest.approx(2, rel=0.3)
+
+    def test_snapshot_is_copy(self):
+        est = SelectivityEstimator()
+        est.observe("B", 1, 5)
+        snap = est.snapshot()
+        snap[("B", 1)] = 999
+        assert est.expected_matches("B", 1) != 999

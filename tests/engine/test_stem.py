@@ -1,0 +1,75 @@
+"""Tests for the STeM operator."""
+
+import pytest
+
+from repro.core.access_pattern import JoinAttributeSet
+from repro.core.assessment import SRIA
+from repro.core.bit_index import make_bit_index
+from repro.core.selector import IndexSelector
+from repro.core.tuner import AMRITuner, NullTuner, TuningContext
+from repro.engine.stem import SteM
+from repro.engine.tuples import StreamTuple
+from repro.indexes.base import CostParams
+from repro.indexes.scan_index import ScanIndex
+
+
+@pytest.fixture
+def stem(jas3):
+    index = make_bit_index(jas3, [2, 2, 2])
+    return SteM("S", jas3, index, window=5, tuner=NullTuner(SRIA(jas3)))
+
+
+def tupA(t, a=1, b=2, c=3):
+    return StreamTuple("S", t, {"A": a, "B": b, "C": c})
+
+
+class TestSteM:
+    def test_insert_and_size(self, stem):
+        stem.insert(tupA(0), 0)
+        stem.insert(tupA(1), 1)
+        assert stem.size == 2
+
+    def test_expire_removes_from_index(self, stem, ap3):
+        old = tupA(0, a=7)
+        stem.insert(old, 0)
+        stem.insert(tupA(6, a=7), 6)
+        assert stem.expire(6) == 1
+        out = stem.probe(ap3("A"), {"A": 7})
+        assert len(out.matches) == 1
+
+    def test_probe_records_pattern(self, stem, ap3):
+        stem.probe(ap3("A", "B"), {"A": 1, "B": 2})
+        stem.probe(ap3("A"), {"A": 1})
+        assessor = stem.tuner.assessor
+        assert assessor.n_requests == 2
+        assert assessor.frequencies()[ap3("A", "B")] == 0.5
+
+    def test_payload_bytes(self, stem):
+        stem.insert(tupA(0), 0)
+        assert stem.payload_bytes == CostParams.tuple_bytes
+
+    def test_rejects_mismatched_index(self, jas3):
+        other = JoinAttributeSet(["X"])
+        with pytest.raises(ValueError):
+            SteM("S", jas3, ScanIndex(other), window=5)
+
+    def test_tune_delegates(self, jas3, ap3):
+        index = make_bit_index(jas3, [0, 0, 6])
+        tuner = AMRITuner(index, SRIA(jas3), IndexSelector(jas3, 12), theta=0.1)
+        stem = SteM("S", jas3, index, window=10, tuner=tuner)
+        for i in range(100):
+            stem.insert(tupA(0, a=i % 40, b=i, c=i), 0)
+        for _ in range(200):
+            stem.probe(ap3("A"), {"A": 3})
+        report = stem.tune(
+            TuningContext(lambda_d=10, window=10, horizon=50, domain_bits={"A": 8})
+        )
+        assert report is not None and report.migrated
+        assert stem.index.config.bits_for_attribute("A") > 0
+
+    def test_default_tuner_is_null(self, jas3):
+        stem = SteM("S", jas3, make_bit_index(jas3, [1, 1, 1]), window=3)
+        assert stem.tune(TuningContext(lambda_d=1, window=1, horizon=1)) is None
+
+    def test_describe(self, stem):
+        assert "SteM(S" in stem.describe()

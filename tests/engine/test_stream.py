@@ -1,0 +1,59 @@
+"""Tests for stream schemas and selection predicates."""
+
+import pytest
+
+from repro.engine.query import SelectionPredicate
+from repro.engine.stream import StreamSchema
+
+
+class TestStreamSchema:
+    def test_basic(self):
+        s = StreamSchema("A", ("x", "y"))
+        assert s.name == "A"
+        assert "x" in s and "z" not in s
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            StreamSchema("", ("x",))
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(ValueError):
+            StreamSchema("A", ("x", "x"))
+
+    def test_frozen(self):
+        s = StreamSchema("A", ("x",))
+        with pytest.raises(Exception):
+            s.name = "B"
+
+    def test_empty_attributes_allowed(self):
+        assert StreamSchema("A").attributes == ()
+
+
+class TestSelectionPredicate:
+    @pytest.mark.parametrize(
+        "op,value,sample,expected",
+        [
+            ("=", 5, 5, True),
+            ("=", 5, 6, False),
+            ("!=", 5, 6, True),
+            ("<", 5, 4, True),
+            ("<=", 5, 5, True),
+            (">", 5, 6, True),
+            (">=", 5, 4, False),
+        ],
+    )
+    def test_operators(self, op, value, sample, expected):
+        p = SelectionPredicate("A", "x", op, value)
+        assert p.evaluate({"x": sample}) is expected
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unsupported selection operator"):
+            SelectionPredicate("A", "x", "~", 1)
+
+    def test_string_comparison(self):
+        p = SelectionPredicate("A", "tag", "=", "hot")
+        assert p.evaluate({"tag": "hot"})
+        assert not p.evaluate({"tag": "cold"})
+
+    def test_str(self):
+        assert str(SelectionPredicate("A", "x", ">", 3)) == "A.x > 3"

@@ -1,0 +1,63 @@
+"""Tests for structured engine event tracing."""
+
+import pytest
+
+from repro.engine.tracing import EngineEvent, EventLog
+
+
+class TestEventLog:
+    def test_record_and_filter(self):
+        log = EventLog()
+        log.record(5, "tune", "A", saving=1.5)
+        log.record(10, "migration", "A", old="x", new="y")
+        log.record(10, "migration", "B")
+        log.record(40, "death", None, used=99)
+        assert len(log) == 4
+        assert len(log.events("migration")) == 2
+        assert len(log.events("migration", stream="A")) == 1
+        assert log.events("death")[0].detail["used"] == 99
+
+    def test_migrations_by_stream(self):
+        log = EventLog()
+        log.record(1, "migration", "A")
+        log.record(2, "migration", "A")
+        log.record(3, "migration", "B")
+        assert log.migrations_by_stream() == {"A": 2, "B": 1}
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            EngineEvent(1, "explosion")
+
+    def test_to_lines(self):
+        log = EventLog()
+        log.record(7, "migration", "C", old="a", new="b")
+        line = log.to_lines()[0]
+        assert "t=7" in line and "[C]" in line and "old=a" in line
+
+
+class TestTracedRun:
+    def test_executor_records_migrations_and_death(self):
+        from repro.experiments.harness import train_initial_state
+        from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+        sc = PaperScenario(ScenarioParams(seed=41))
+        log = EventLog()
+        ex = sc.make_executor("amri:cdia-highest", capacity=1e9, memory_budget=1 << 30)
+        ex.event_log = log
+        stats = ex.run(130, sc.make_generator())
+        migrations = log.events("migration")
+        assert len(migrations) == stats.migrations
+        assert all(e.stream in sc.query.stream_names for e in migrations)
+
+    def test_death_event_recorded(self):
+        from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+        sc = PaperScenario(ScenarioParams(seed=41))
+        log = EventLog()
+        ex = sc.make_executor("scan", capacity=100.0, memory_budget=150_000)
+        ex.event_log = log
+        stats = ex.run(200, sc.make_generator())
+        assert stats.died_at is not None
+        deaths = log.events("death")
+        assert len(deaths) == 1
+        assert deaths[0].tick == stats.died_at

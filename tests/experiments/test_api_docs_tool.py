@@ -1,0 +1,41 @@
+"""Tests for the API-docs generator tool."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "gen_api_docs.py"
+spec = importlib.util.spec_from_file_location("gen_api_docs", TOOL)
+gen = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gen)
+
+
+class TestGenerator:
+    def test_entry_for_class(self):
+        from repro.core import AccessPattern
+
+        lines = gen.entry_for("AccessPattern", AccessPattern)
+        text = "\n".join(lines)
+        assert "### `AccessPattern" in text
+        assert ".provides_search_benefit_to" in text
+
+    def test_entry_for_function(self):
+        from repro.core import make_bit_index
+
+        text = "\n".join(gen.entry_for("make_bit_index", make_bit_index))
+        assert "make_bit_index(" in text
+
+    def test_entry_for_constant(self):
+        text = "\n".join(gen.entry_for("X", ("a", "b")))
+        assert "Constant" in text
+
+    def test_all_packages_importable(self):
+        for pkg in gen.PACKAGES:
+            assert importlib.import_module(pkg)
+
+    def test_committed_output_is_current(self):
+        """docs/api.md must match what the tool generates now."""
+        docs = Path(__file__).resolve().parents[2] / "docs" / "api.md"
+        before = docs.read_text()
+        gen.main()
+        assert docs.read_text() == before

@@ -1,0 +1,80 @@
+"""Tests for parallel experiment execution."""
+
+import pytest
+
+from repro.experiments.parallel import (
+    RunSpec,
+    compare_parallel,
+    execute_spec,
+    run_parallel,
+)
+from repro.workloads.scenarios import ScenarioParams
+
+FAST = ScenarioParams(seed=3, capacity=1e9, memory_budget=1 << 30)
+
+
+def spec(scheme="amri:sria", seed=3, ticks=15):
+    return RunSpec(
+        ScenarioParams(seed=seed, capacity=1e9, memory_budget=1 << 30),
+        scheme,
+        ticks,
+        train=False,
+    )
+
+
+class TestRunSpec:
+    def test_default_label(self):
+        assert spec().display_label() == "amri:sria@seed3"
+
+    def test_custom_label(self):
+        s = RunSpec(FAST, "scan", 5, label="mine")
+        assert s.display_label() == "mine"
+
+
+class TestExecution:
+    def test_execute_spec(self):
+        outcome = execute_spec(spec())
+        assert outcome.stats.probes > 0
+        assert outcome.outputs == outcome.stats.outputs
+
+    def test_empty(self):
+        assert run_parallel([], workers=2) == []
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            run_parallel([spec()], workers=-1)
+
+    def test_serial_path(self):
+        outcomes = run_parallel([spec(), spec(seed=4)], workers=0)
+        assert len(outcomes) == 2
+        assert outcomes[0].spec.params.seed == 3
+
+    def test_parallel_matches_serial(self):
+        """Process isolation must not change results."""
+        specs = [spec(seed=3), spec(seed=4), spec("scan", seed=3)]
+        serial = run_parallel(specs, workers=0)
+        parallel = run_parallel(specs, workers=2)
+        assert [o.outputs for o in serial] == [o.outputs for o in parallel]
+        assert [o.stats.probes for o in serial] == [o.stats.probes for o in parallel]
+
+    def test_results_in_spec_order(self):
+        specs = [spec(seed=s) for s in (5, 6, 7)]
+        outcomes = run_parallel(specs, workers=3)
+        assert [o.spec.params.seed for o in outcomes] == [5, 6, 7]
+
+
+class TestCompareParallel:
+    def test_matches_serial_comparison(self):
+        from repro.experiments.harness import run_comparison
+        from repro.workloads.scenarios import PaperScenario
+
+        params = ScenarioParams(seed=11, capacity=1e9, memory_budget=1 << 30)
+        schemes = ["amri:sria", "scan"]
+        parallel = compare_parallel(
+            params, schemes, 15, workers=2, train=False
+        )
+        serial = run_comparison(
+            PaperScenario(params), schemes, 15, train=False
+        )
+        for scheme in schemes:
+            assert parallel[scheme].outputs == serial[scheme].outputs

@@ -1,0 +1,68 @@
+"""Tests for the generic experiment-runner CLI."""
+
+import csv
+
+import pytest
+
+from repro.experiments import run as run_cli
+
+
+class TestBuildScenario:
+    def test_paper(self):
+        sc = run_cli.build_scenario("paper", seed=3)
+        assert len(sc.query.streams) == 4
+
+    def test_sensor(self):
+        sc = run_cli.build_scenario("sensor", seed=3)
+        assert len(sc.query.streams) == 3
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            run_cli.build_scenario("nope", seed=0)
+
+
+class TestCLI:
+    def test_run_and_csv_export(self, tmp_path, capsys):
+        rc = run_cli.main(
+            [
+                "--schemes",
+                "scan,amri:sria",
+                "--ticks",
+                "15",
+                "--train-ticks",
+                "10",
+                "--no-train",
+                "--csv",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "paper scenario" in out
+        summary = tmp_path / "paper_summary.csv"
+        assert summary.exists()
+        with summary.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["scheme"] for r in rows} == {"scan", "amri:sria"}
+        series = tmp_path / "paper_amri_sria.csv"
+        with series.open() as fh:
+            srows = list(csv.DictReader(fh))
+        assert len(srows) >= 15
+        assert int(srows[-1]["outputs"]) >= 0
+
+    def test_sensor_scenario_option(self, capsys):
+        rc = run_cli.main(
+            ["--scenario", "sensor", "--schemes", "scan", "--ticks", "10", "--no-train"]
+        )
+        assert rc == 0
+        assert "sensor scenario" in capsys.readouterr().out
+
+
+class TestTrainedPath:
+    def test_trained_run_via_cli(self, capsys):
+        rc = run_cli.main(
+            ["--schemes", "amri:sria", "--ticks", "12", "--train-ticks", "8"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "amri:sria" in out

@@ -1,0 +1,73 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.experiments.sweeps import format_sweep, grid_points, run_sweep
+from repro.workloads.scenarios import ScenarioParams
+
+
+class TestGridPoints:
+    def test_cartesian_product(self):
+        pts = grid_points({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(pts) == 6
+        assert {"a": 2, "b": "y"} in pts
+
+    def test_empty_grid(self):
+        assert grid_points({}) == [{}]
+
+    def test_single_axis(self):
+        assert grid_points({"a": [1]}) == [{"a": 1}]
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_sweep(
+            {"explore_prob": [0.0, 0.3]},
+            schemes=["amri:sria", "scan"],
+            ticks=15,
+            base_params=ScenarioParams(seed=3, capacity=1e9, memory_budget=1 << 30),
+            train=False,
+        )
+
+    def test_point_count(self, points):
+        assert len(points) == 2
+
+    def test_overrides_recorded(self, points):
+        assert [p.overrides["explore_prob"] for p in points] == [0.0, 0.3]
+
+    def test_all_schemes_present(self, points):
+        for p in points:
+            assert set(p.runs) == {"amri:sria", "scan"}
+            assert p.outputs("scan") >= 0
+
+    def test_rejects_empty_schemes(self):
+        with pytest.raises(ValueError):
+            run_sweep({}, schemes=[], ticks=5)
+
+
+class TestFormatSweep:
+    def test_table_contains_params_and_schemes(self):
+        points = run_sweep(
+            {"rate": [4]},
+            schemes=["scan"],
+            ticks=8,
+            base_params=ScenarioParams(seed=3, capacity=1e9, memory_budget=1 << 30),
+            train=False,
+        )
+        out = format_sweep(points)
+        assert "rate" in out and "scan outputs" in out
+
+    def test_empty(self):
+        assert "empty" in format_sweep([])
+
+    def test_death_marker(self):
+        points = run_sweep(
+            {"rate": [8]},
+            schemes=["scan"],
+            ticks=60,
+            base_params=ScenarioParams(seed=3, capacity=10.0, memory_budget=120_000),
+            train=False,
+        )
+        out = format_sweep(points)
+        assert "†" in out

@@ -1,0 +1,112 @@
+"""Tests for the index-layer foundation: cost params, accountant, outcomes."""
+
+import pytest
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.indexes.base import Accountant, CostParams, SearchOutcome, StateIndex
+
+
+class TestCostParams:
+    def test_frozen(self):
+        p = CostParams()
+        with pytest.raises(Exception):
+            p.c_hash = 2.0
+
+    def test_custom_values(self):
+        p = CostParams(c_hash=3.0, tuple_bytes=10)
+        assert p.c_hash == 3.0 and p.tuple_bytes == 10
+
+
+class TestAccountant:
+    def test_cost_formula(self):
+        p = CostParams()
+        a = Accountant(hashes=2, comparisons=3, buckets_visited=4, tuples_examined=5,
+                       inserts=6, deletes=7, moves=8)
+        expected = (
+            2 * p.c_hash + 3 * p.c_compare + 4 * p.c_bucket + 5 * p.c_compare
+            + 6 * p.c_insert + 7 * p.c_delete + 8 * p.c_move
+        )
+        assert a.cost(p) == pytest.approx(expected)
+
+    def test_snapshot_is_independent(self):
+        a = Accountant(hashes=1)
+        snap = a.snapshot()
+        a.hashes += 10
+        assert snap.hashes == 1
+
+    def test_cost_since(self):
+        p = CostParams()
+        a = Accountant()
+        before = a.snapshot()
+        a.tuples_examined += 10
+        assert a.cost_since(before, p) == pytest.approx(10 * p.c_compare)
+
+    def test_memory_gauge_not_in_cost(self):
+        p = CostParams()
+        a = Accountant(index_bytes=10_000)
+        assert a.cost(p) == 0.0
+
+
+class TestSearchOutcome:
+    def test_len_and_iter(self):
+        o = SearchOutcome(matches=[{"a": 1}, {"a": 2}])
+        assert len(o) == 2
+        assert [m["a"] for m in o] == [1, 2]
+
+    def test_defaults(self):
+        o = SearchOutcome()
+        assert o.matches == [] and not o.used_full_scan
+
+
+class TestStateIndexHelpers:
+    def test_probe_validation(self):
+        jas = JoinAttributeSet(["A", "B"])
+
+        class Dummy(StateIndex):
+            def insert(self, item):
+                pass
+
+            def remove(self, item):
+                pass
+
+            def search(self, ap, values):
+                self._check_probe(ap, values)
+                return SearchOutcome()
+
+            @property
+            def size(self):
+                return 0
+
+        d = Dummy(jas)
+        ap = AccessPattern.from_attributes(jas, ["A"])
+        d.search(ap, {"A": 1})  # fine
+        with pytest.raises(KeyError):
+            d.search(ap, {"B": 1})
+        foreign = AccessPattern.from_attributes(JoinAttributeSet(["X"]), ["X"])
+        with pytest.raises(ValueError):
+            d.search(foreign, {"X": 1})
+
+    def test_matches_helper(self):
+        jas = JoinAttributeSet(["A", "B"])
+        ap = AccessPattern.from_attributes(jas, ["A"])
+        assert StateIndex._matches({"A": 1, "B": 9}, ap, {"A": 1})
+        assert not StateIndex._matches({"A": 2, "B": 9}, ap, {"A": 1})
+
+    def test_default_accountant_and_params(self):
+        jas = JoinAttributeSet(["A"])
+
+        class Dummy(StateIndex):
+            def insert(self, item): ...
+            def remove(self, item): ...
+            def search(self, ap, values):
+                return SearchOutcome()
+
+            @property
+            def size(self):
+                return 0
+
+        d = Dummy(jas)
+        assert isinstance(d.accountant, Accountant)
+        assert isinstance(d.cost_params, CostParams)
+        assert d.memory_bytes == 0
+        assert "Dummy" in d.describe()

@@ -1,0 +1,60 @@
+"""Tests for the full-scan baseline index."""
+
+import pytest
+
+from repro.indexes.scan_index import ScanIndex
+
+
+@pytest.fixture
+def index(jas3):
+    return ScanIndex(jas3)
+
+
+ITEMS = [{"A": i % 4, "B": i % 3, "C": i % 5} for i in range(30)]
+
+
+class TestScanIndex:
+    def test_insert_remove(self, index):
+        for item in ITEMS:
+            index.insert(item)
+        assert index.size == 30
+        index.remove(ITEMS[0])
+        assert index.size == 29
+
+    def test_remove_unknown(self, index):
+        with pytest.raises(KeyError):
+            index.remove({"A": 0, "B": 0, "C": 0})
+
+    def test_search_filters(self, index, ap3):
+        for item in ITEMS:
+            index.insert(item)
+        out = index.search(ap3("A", "B"), {"A": 1, "B": 2})
+        expected = [i for i in ITEMS if i["A"] == 1 and i["B"] == 2]
+        assert len(out.matches) == len(expected)
+
+    def test_always_examines_everything(self, index, ap3):
+        for item in ITEMS:
+            index.insert(item)
+        out = index.search(ap3("A", "B", "C"), {"A": 1, "B": 2, "C": 3})
+        assert out.tuples_examined == 30
+        assert out.used_full_scan
+
+    def test_full_scan_pattern(self, index, ap3):
+        for item in ITEMS:
+            index.insert(item)
+        assert len(index.search(ap3(), {}).matches) == 30
+
+    def test_memory_accounting(self, index):
+        for item in ITEMS:
+            index.insert(item)
+        assert index.memory_bytes == 30 * index.cost_params.bucket_slot_bytes
+        for item in ITEMS:
+            index.remove(item)
+        assert index.memory_bytes == 0
+
+    def test_cost_accounting(self, index, ap3):
+        for item in ITEMS[:10]:
+            index.insert(item)
+        index.search(ap3("A"), {"A": 1})
+        assert index.accountant.tuples_examined == 10
+        assert index.accountant.inserts == 10

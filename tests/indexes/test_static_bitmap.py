@@ -1,0 +1,28 @@
+"""Tests for the frozen (non-adapting) bitmap index baseline."""
+
+import pytest
+
+from repro.core.index_config import IndexConfiguration
+from repro.indexes.static_bitmap import StaticBitmapIndex
+
+
+class TestStaticBitmapIndex:
+    def test_behaves_like_bit_index(self, jas3, ap3):
+        idx = StaticBitmapIndex(IndexConfiguration(jas3, [4, 2, 2]))
+        items = [{"A": i % 8, "B": i % 3, "C": i % 5} for i in range(50)]
+        for item in items:
+            idx.insert(item)
+        out = idx.search(ap3("A"), {"A": 3})
+        assert len(out.matches) == sum(1 for i in items if i["A"] == 3)
+
+    def test_reconfigure_is_disabled(self, jas3):
+        idx = StaticBitmapIndex(IndexConfiguration(jas3, [4, 2, 2]))
+        with pytest.raises(RuntimeError, match="non-adapting"):
+            idx.reconfigure(IndexConfiguration(jas3, [2, 4, 2]))
+
+    def test_lazy_export_from_package(self):
+        import repro.indexes as pkg
+
+        assert pkg.StaticBitmapIndex is StaticBitmapIndex
+        with pytest.raises(AttributeError):
+            pkg.NotAThing

@@ -1,0 +1,159 @@
+"""Integration tests: the full stack (workload → engine → tuner → figures).
+
+These run the real Section V scenario at reduced scale and assert the
+cross-module behaviours the unit tests cannot see: adaptation actually
+happens in response to drift, schemes compare the way the paper says, and
+runs are exactly reproducible.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_comparison, run_scheme, train_initial_state
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+TICKS = 130
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return PaperScenario(ScenarioParams(seed=31))
+
+
+@pytest.fixture(scope="module")
+def training(scenario):
+    return train_initial_state(scenario, train_ticks=60)
+
+
+class TestAdaptation:
+    def test_drift_triggers_migrations(self, scenario, training):
+        stats = run_scheme(
+            scenario, "amri:cdia-highest", TICKS, training=training,
+            capacity=1e9, memory_budget=1 << 30,
+        )
+        assert stats.migrations > 0
+        assert stats.tuning_rounds > 0
+
+    def test_assessors_see_multiple_pattern_widths(self, scenario):
+        """Routing diversity: states receive 1-, 2-, and 3-attribute probes."""
+        ex = scenario.make_executor("amri:sria", capacity=1e9, memory_budget=1 << 30)
+        ex.run(40, scenario.make_generator())
+        widths = set()
+        for stem in ex.stems.values():
+            for ap in stem.tuner.assessor.frequencies():
+                widths.add(ap.n_attributes)
+        assert {1, 2, 3} <= widths
+
+    def test_tuned_beats_static_under_drift(self, scenario, training):
+        runs = run_comparison(
+            scenario,
+            ["amri:cdia-highest", "static"],
+            300,
+            train=True,
+            train_ticks=60,
+        )
+        assert runs["amri:cdia-highest"].outputs > runs["static"].outputs
+
+    def test_indexed_beats_scan_under_pressure(self, scenario, training):
+        runs = {
+            scheme: run_scheme(scenario, scheme, TICKS, training=training)
+            for scheme in ("amri:cdia-highest", "scan")
+        }
+        assert runs["amri:cdia-highest"].outputs > runs["scan"].outputs
+
+
+class TestResultCorrectness:
+    def test_outputs_independent_of_index_scheme(self, scenario):
+        """With unlimited resources every scheme computes the same join."""
+        outputs = set()
+        for scheme in ("scan", "amri:sria", "hash:3", "static"):
+            stats = run_scheme(
+                scenario, scheme, 60, capacity=1e9, memory_budget=1 << 30
+            )
+            outputs.add(stats.outputs)
+        assert len(outputs) == 1
+
+    def test_throughput_monotone_nondecreasing(self, scenario, training):
+        stats = run_scheme(scenario, "amri:cdia-highest", TICKS, training=training)
+        series = [s.outputs for s in stats.samples]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+
+class TestReproducibility:
+    def test_full_pipeline_bit_identical(self, scenario):
+        def one():
+            sc = PaperScenario(ScenarioParams(seed=31))
+            training = train_initial_state(sc, train_ticks=40)
+            stats = run_scheme(sc, "amri:cdia-highest", 80, training=training)
+            return (
+                stats.outputs,
+                stats.probes,
+                stats.matches,
+                stats.migrations,
+                [s.outputs for s in stats.samples],
+            )
+
+        assert one() == one()
+
+    def test_different_seeds_differ(self):
+        def run_with(seed):
+            sc = PaperScenario(ScenarioParams(seed=seed))
+            return run_scheme(sc, "amri:sria", 50, capacity=1e9, memory_budget=1 << 30).outputs
+
+        assert run_with(1) != run_with(2)
+
+
+class TestMemoryDeath:
+    def test_overloaded_scheme_dies_and_flatlines(self, scenario, training):
+        stats = run_scheme(
+            scenario, "hash:7", 200, training=training, memory_budget=400_000
+        )
+        assert stats.died_at is not None
+        assert "memory budget exceeded" in stats.death_reason
+        assert stats.samples[-1].tick == stats.died_at
+
+    def test_generous_budget_survives(self, scenario, training):
+        stats = run_scheme(
+            scenario, "hash:7", 100, training=training, memory_budget=1 << 30
+        )
+        assert stats.completed
+
+
+class TestMultiwayJoinOracle:
+    def test_three_way_join_matches_brute_force(self):
+        """Engine outputs equal an itertools brute force over all windows."""
+        import itertools
+
+        from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+        sc = PaperScenario(
+            ScenarioParams(
+                stream_names=("A", "B", "C"),
+                rate=3,
+                window=6,
+                domain=6,
+                hot_skew=0.0,
+                cold_skew=0.0,
+                explore_prob=0.3,
+                seed=23,
+            )
+        )
+        duration = 15
+        gen = sc.make_generator()
+        arrivals = {t: gen.arrivals(t) for t in range(duration)}
+        ex = sc.make_executor("amri:sria", capacity=1e12, memory_budget=1 << 30)
+        stats = ex.run(duration, lambda t: arrivals.get(t, []))
+
+        all_tuples = [t for batch in arrivals.values() for t in batch]
+        by_stream = {
+            s: [t for t in all_tuples if t.stream == s] for s in ("A", "B", "C")
+        }
+        window = sc.params.window
+        expected = 0
+        for a, b, c in itertools.product(by_stream["A"], by_stream["B"], by_stream["C"]):
+            if a["AB"] != b["AB"] or a["AC"] != c["AC"] or b["BC"] != c["BC"]:
+                continue
+            # Joinable iff every pair is alive when the youngest arrives.
+            times = sorted(t.arrived_at for t in (a, b, c))
+            if times[0] + window > times[2]:
+                expected += 1
+        assert stats.outputs == expected

@@ -1,0 +1,132 @@
+"""Tests for Manku–Motwani lossy counting (the CSRIA substrate)."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.lossy_counting import LossyCounting
+
+
+class TestBasics:
+    def test_rejects_bad_epsilon(self):
+        for eps in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                LossyCounting(eps)
+
+    def test_segment_width(self):
+        assert LossyCounting(0.1).segment_width == 10
+        assert LossyCounting(0.3).segment_width == math.ceil(1 / 0.3)
+
+    def test_counts_exact_within_first_segment(self):
+        lc = LossyCounting(0.1)  # segment width 10
+        lc.extend(["a", "b", "a"])
+        assert lc.estimate("a") == 2
+        assert lc.estimate("b") == 1
+
+    def test_segment_id_progression(self):
+        lc = LossyCounting(0.5)  # width 2
+        assert lc.current_segment_id == 1
+        lc.extend(["x", "x"])
+        assert lc.current_segment_id == 1
+        lc.offer("x")
+        assert lc.current_segment_id == 2
+
+    def test_compression_evicts_singletons(self):
+        lc = LossyCounting(0.1)
+        # 10 distinct items fill one segment; each has count 1, delta 0, so
+        # count + delta <= s_id=1 evicts them all at the boundary.
+        lc.extend([f"i{k}" for k in range(10)])
+        assert len(lc) == 0
+
+    def test_frequent_item_survives_compression(self):
+        lc = LossyCounting(0.1)
+        stream = (["hot"] * 5 + [f"c{i}" for i in range(5)]) * 20
+        lc.extend(stream)
+        assert "hot" in lc
+        assert lc.estimate("hot") > 0
+
+    def test_delta_assigned_on_late_insert(self):
+        lc = LossyCounting(0.1)
+        lc.extend(["x"] * 25)  # now in segment 3
+        lc.offer("late")
+        entry = lc.entries()["late"]
+        assert entry.delta == lc.current_segment_id - 1
+
+    def test_entries_are_copies(self):
+        lc = LossyCounting(0.1)
+        lc.offer("a")
+        lc.entries()["a"].count = 99
+        assert lc.estimate("a") == 1
+
+    def test_frequent_items_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            LossyCounting(0.1).frequent_items(1.5)
+
+
+class TestGuarantees:
+    """The three lossy-counting guarantees, on adversarial-ish streams."""
+
+    def _run(self, stream, eps):
+        lc = LossyCounting(eps)
+        lc.extend(stream)
+        return lc
+
+    def test_no_false_negatives(self):
+        eps, theta = 0.01, 0.1
+        stream = ["hot1"] * 150 + ["hot2"] * 120 + [f"c{i}" for i in range(730)]
+        lc = self._run(stream, eps)
+        result = lc.frequent_items(theta)
+        true = Counter(stream)
+        n = len(stream)
+        for item, count in true.items():
+            if count / n >= theta:
+                assert item in result, f"{item} with f={count/n} missing"
+
+    def test_no_far_false_positives(self):
+        eps, theta = 0.05, 0.2
+        stream = ["hot"] * 300 + [f"c{i % 100}" for i in range(700)]
+        lc = self._run(stream, eps)
+        true = Counter(stream)
+        n = len(stream)
+        for item in lc.frequent_items(theta):
+            assert true[item] / n >= theta - eps
+
+    def test_undercount_bounded(self):
+        eps = 0.02
+        stream = [f"v{i % 25}" for i in range(5000)]
+        lc = self._run(stream, eps)
+        true = Counter(stream)
+        for item, entry in lc.entries().items():
+            assert entry.count <= true[item]
+            assert true[item] - entry.count <= eps * lc.n
+
+    def test_space_bound(self):
+        eps = 0.01
+        lc = self._run([f"u{i}" for i in range(20_000)], eps)
+        n = lc.n
+        bound = (1 / eps) * math.log(eps * n)
+        assert len(lc) <= bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=20, max_size=2000),
+        st.sampled_from([0.02, 0.05, 0.1]),
+        st.sampled_from([0.1, 0.2, 0.3]),
+    )
+    def test_property_guarantees(self, stream, eps, theta):
+        lc = LossyCounting(eps)
+        lc.extend(stream)
+        true = Counter(stream)
+        n = len(stream)
+        result = lc.frequent_items(theta)
+        for item, count in true.items():
+            # completeness
+            if count / n >= theta:
+                assert item in result
+            # undercount bound for tracked entries
+        for item, entry in lc.entries().items():
+            assert entry.count <= true[item]
+            assert true[item] - entry.count <= eps * n + 1e-9

@@ -1,0 +1,106 @@
+"""Tests for the Misra–Gries frequent-elements summary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketches.misra_gries import MisraGries
+
+
+class TestBasics:
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(1)
+
+    def test_tracks_single_item(self):
+        mg = MisraGries(4)
+        mg.extend(["a"] * 10)
+        assert mg.estimate("a") == 10
+        assert mg.n == 10
+
+    def test_capacity_bound(self):
+        mg = MisraGries(5)
+        mg.extend(range(1000))
+        assert len(mg) <= 4
+
+    def test_untracked_estimates_zero(self):
+        mg = MisraGries(3)
+        mg.offer("a")
+        assert mg.estimate("zzz") == 0
+        assert "zzz" not in mg
+
+    def test_weighted_offer(self):
+        mg = MisraGries(4)
+        mg.offer("a", count=7)
+        assert mg.estimate("a") == 7
+        assert mg.n == 7
+
+    def test_weighted_offer_rejects_nonpositive(self):
+        mg = MisraGries(4)
+        with pytest.raises(ValueError):
+            mg.offer("a", count=0)
+
+    def test_items_snapshot_is_copy(self):
+        mg = MisraGries(4)
+        mg.offer("a")
+        snap = mg.items()
+        snap["a"] = 99
+        assert mg.estimate("a") == 1
+
+
+class TestGuarantees:
+    def test_majority_item_survives(self):
+        # Item occupying > n/k of the stream must be tracked.
+        mg = MisraGries(4)
+        stream = ["hot"] * 400 + [f"cold{i}" for i in range(600)]
+        mg.extend(stream)
+        assert "hot" in mg
+
+    def test_underestimate_bounded(self):
+        mg = MisraGries(10)
+        stream = ["hot"] * 300 + [f"c{i % 50}" for i in range(700)]
+        mg.extend(stream)
+        true = 300
+        est = mg.estimate("hot")
+        assert est <= true
+        assert true - est <= mg.n / mg.k
+
+    def test_frequent_items_includes_heavy(self):
+        mg = MisraGries(20)
+        stream = ["x"] * 500 + ["y"] * 300 + [f"z{i}" for i in range(200)]
+        mg.extend(stream)
+        freq = mg.frequent_items(0.25)
+        assert "x" in freq
+        assert "y" in freq
+
+    def test_frequent_items_empty_stream(self):
+        assert MisraGries(4).frequent_items(0.1) == {}
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=500),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_property_bounds(self, stream, k):
+        """Estimates are lower bounds with error <= n/k; capacity holds."""
+        mg = MisraGries(k)
+        mg.extend(stream)
+        assert len(mg) <= k - 1
+        from collections import Counter
+
+        true = Counter(stream)
+        n = len(stream)
+        for item, true_count in true.items():
+            est = mg.estimate(item)
+            assert est <= true_count
+            assert true_count - est <= n / k
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=300))
+    def test_heavy_items_always_tracked(self, stream):
+        k = 3
+        mg = MisraGries(k)
+        mg.extend(stream)
+        from collections import Counter
+
+        for item, count in Counter(stream).items():
+            if count > len(stream) / k:
+                assert item in mg

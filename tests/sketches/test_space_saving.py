@@ -1,0 +1,74 @@
+"""Tests for the SpaceSaving summary."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_exact_under_capacity(self):
+        ss = SpaceSaving(10)
+        ss.extend(["a", "b", "a", "c"])
+        assert ss.estimate("a") == 2
+        assert ss.guaranteed_count("a") == 2
+
+    def test_capacity_never_exceeded(self):
+        ss = SpaceSaving(5)
+        ss.extend(range(100))
+        assert len(ss) == 5
+
+    def test_replacement_inherits_floor(self):
+        ss = SpaceSaving(2)
+        ss.extend(["a", "a", "b"])
+        ss.offer("c")  # evicts b (count 1) -> c gets count 2, error 1
+        assert ss.estimate("c") == 2
+        assert ss.guaranteed_count("c") == 1
+
+    def test_untracked_zero(self):
+        ss = SpaceSaving(2)
+        ss.offer("a")
+        assert ss.estimate("zzz") == 0
+
+
+class TestGuarantees:
+    def test_overestimates_only(self):
+        ss = SpaceSaving(8)
+        stream = ["h"] * 50 + [f"c{i % 30}" for i in range(150)]
+        ss.extend(stream)
+        true = Counter(stream)
+        for item, count in ss.items().items():
+            assert count >= true[item]
+
+    def test_heavy_hitter_present(self):
+        ss = SpaceSaving(10)
+        stream = ["hot"] * 400 + [f"c{i}" for i in range(600)]
+        ss.extend(stream)
+        assert "hot" in ss
+        assert "hot" in ss.frequent_items(0.3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=25), min_size=1, max_size=800),
+        st.integers(min_value=2, max_value=15),
+    )
+    def test_property_bounds(self, stream, capacity):
+        ss = SpaceSaving(capacity)
+        ss.extend(stream)
+        true = Counter(stream)
+        n = len(stream)
+        assert len(ss) <= capacity
+        for item, est in ss.items().items():
+            # estimates overcount by at most n/capacity
+            assert true[item] <= est <= true[item] + n / capacity
+        # every item with count > n/capacity is tracked
+        for item, count in true.items():
+            if count > n / capacity:
+                assert item in ss

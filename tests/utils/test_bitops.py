@@ -1,0 +1,179 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_count,
+    bits_needed,
+    fragment,
+    iter_submasks,
+    iter_supermasks,
+    mask_from_indices,
+    mask_to_indices,
+    splitmix64,
+    stable_value_hash,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_all_ones(self):
+        assert bit_count(0b1111) == 4
+
+    @given(masks)
+    def test_matches_bin_count(self, m):
+        assert bit_count(m) == bin(m).count("1")
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (256, 8), (257, 9)]
+    )
+    def test_values(self, n, expected):
+        assert bits_needed(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bits_needed(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 20))
+    def test_bits_suffice(self, n):
+        b = bits_needed(n)
+        assert 2**b >= n
+        if b > 0:
+            assert 2 ** (b - 1) < n
+
+
+class TestMaskConversions:
+    def test_round_trip(self):
+        assert mask_from_indices(mask_to_indices(0b10110)) == 0b10110
+
+    def test_empty(self):
+        assert mask_to_indices(0) == ()
+        assert mask_from_indices([]) == 0
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            mask_from_indices([-1])
+
+    def test_rejects_negative_mask(self):
+        with pytest.raises(ValueError):
+            mask_to_indices(-5)
+
+    @given(masks)
+    def test_round_trip_property(self, m):
+        assert mask_from_indices(mask_to_indices(m)) == m
+
+    @given(st.sets(st.integers(min_value=0, max_value=30)))
+    def test_indices_round_trip(self, idxs):
+        assert set(mask_to_indices(mask_from_indices(idxs))) == idxs
+
+
+class TestSubmasks:
+    def test_full_enumeration(self):
+        subs = list(iter_submasks(0b101))
+        assert subs == [0b101, 0b100, 0b001, 0b000]
+
+    def test_proper_excludes_self(self):
+        assert 0b101 not in list(iter_submasks(0b101, proper=True))
+
+    def test_proper_of_zero_is_empty(self):
+        assert list(iter_submasks(0, proper=True)) == []
+
+    @given(masks)
+    def test_count_is_power_of_two(self, m):
+        assert len(list(iter_submasks(m))) == 2 ** bit_count(m)
+
+    @given(masks)
+    def test_all_are_submasks(self, m):
+        assert all(sub & m == sub for sub in iter_submasks(m))
+
+    @given(masks)
+    def test_unique(self, m):
+        subs = list(iter_submasks(m))
+        assert len(subs) == len(set(subs))
+
+
+class TestSupermasks:
+    def test_within_universe(self):
+        sups = set(iter_supermasks(0b001, 0b011))
+        assert sups == {0b001, 0b011}
+
+    def test_proper(self):
+        assert set(iter_supermasks(0b001, 0b011, proper=True)) == {0b011}
+
+    def test_rejects_mask_outside_universe(self):
+        with pytest.raises(ValueError):
+            list(iter_supermasks(0b100, 0b011))
+
+    @given(masks, masks)
+    def test_supermask_property(self, m, extra):
+        universe = m | extra
+        for sup in iter_supermasks(m, universe):
+            assert sup & m == m
+            assert sup & ~universe == 0
+
+
+class TestHashing:
+    def test_splitmix_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_splitmix_64bit(self):
+        assert 0 <= splitmix64(2**100) < 2**64
+
+    def test_stable_hash_types(self):
+        for v in [0, -7, "abc", b"abc", 3.14, None, True, False]:
+            h = stable_value_hash(v)
+            assert 0 <= h < 2**64
+            assert stable_value_hash(v) == h
+
+    def test_bool_differs_from_int(self):
+        assert stable_value_hash(True) != stable_value_hash(1)
+
+    def test_negative_zero_float(self):
+        assert stable_value_hash(-0.0) == stable_value_hash(0.0)
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            stable_value_hash([1, 2])
+
+    def test_fragment_zero_bits(self):
+        assert fragment("anything", 0) == 0
+
+    def test_fragment_range(self):
+        for bits in (1, 3, 8):
+            for v in range(50):
+                assert 0 <= fragment(v, bits) < 2**bits
+
+    def test_fragment_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            fragment(1, -1)
+
+    @given(st.integers(), st.integers(min_value=1, max_value=16))
+    def test_fragment_deterministic(self, v, bits):
+        assert fragment(v, bits) == fragment(v, bits)
+
+    def test_fragment_spreads(self):
+        # 256 consecutive ints into 16 fragments: no fragment should be empty.
+        frags = {fragment(i, 4) for i in range(256)}
+        assert frags == set(range(16))
+
+
+class TestSupermaskCounts:
+    @given(masks)
+    def test_count_is_power_of_two_of_free_bits(self, m):
+        universe = 0b111111111111
+        free = bit_count(universe & ~m)
+        m &= universe
+        assert len(list(iter_supermasks(m, universe))) == 2**free
+
+    @given(masks, masks)
+    def test_sub_and_super_are_inverse_relations(self, a, b):
+        universe = a | b
+        assert (a in set(iter_submasks(b))) == (b in set(iter_supermasks(a, universe)) if (a & b) == a else False)

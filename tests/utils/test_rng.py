@@ -1,0 +1,46 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_seed, make_rng
+
+
+class TestMakeRng:
+    def test_seed_reproducible(self):
+        a = make_rng(42).integers(1000, size=10)
+        b = make_rng(42).integers(1000, size=10)
+        assert (a == b).all()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "router") == derive_seed(7, "router")
+
+    def test_labels_differ(self):
+        assert derive_seed(7, "router") != derive_seed(7, "generator")
+
+    def test_indices_differ(self):
+        assert derive_seed(7, "x", 0) != derive_seed(7, "x", 1)
+
+    def test_parents_differ(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=20))
+    def test_range(self, parent, label):
+        s = derive_seed(parent, label)
+        assert 0 <= s < 2**63
+
+    def test_decorrelated_streams(self):
+        # Child streams from different labels should not produce identical output.
+        a = make_rng(derive_seed(0, "a")).integers(1 << 30, size=8)
+        b = make_rng(derive_seed(0, "b")).integers(1 << 30, size=8)
+        assert not (a == b).all()

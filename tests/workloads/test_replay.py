@@ -1,0 +1,95 @@
+"""Tests for workload trace record/replay."""
+
+import json
+
+import pytest
+
+from repro.engine.tuples import StreamTuple
+from repro.workloads.replay import TraceReplayer, record_trace
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+
+class TestRecordTrace:
+    def test_round_trip(self, tmp_path):
+        plan = {
+            0: [StreamTuple("A", 0, {"k": 1})],
+            2: [StreamTuple("B", 2, {"k": 2}), StreamTuple("A", 2, {"k": 3})],
+        }
+        path = tmp_path / "trace.jsonl"
+        n = record_trace(path, lambda t: plan.get(t, []), ticks=3)
+        assert n == 3
+        replay = TraceReplayer(path)
+        assert replay.n_tuples == 3
+        assert replay.max_tick == 2
+        assert [dict(t) for t in replay.arrivals(2)] == [{"k": 2}, {"k": 3}]
+        assert replay.arrivals(1) == []
+        assert replay.streams == ("A", "B")
+
+    def test_rejects_bad_ticks(self, tmp_path):
+        with pytest.raises(ValueError):
+            record_trace(tmp_path / "t.jsonl", lambda t: [], ticks=0)
+
+    def test_synthetic_freeze(self, tmp_path):
+        """A frozen synthetic draw replays bit-identically."""
+        sc = PaperScenario(ScenarioParams(seed=3))
+        gen = sc.make_generator()
+        path = tmp_path / "frozen.jsonl"
+        record_trace(path, gen, ticks=5)
+        replay = TraceReplayer(path)
+        fresh = sc.make_generator()
+        for tick in range(5):
+            assert [dict(t) for t in replay(tick)] == [dict(t) for t in fresh(tick)]
+
+    def test_rates(self, tmp_path):
+        plan = {t: [StreamTuple("A", t, {"k": 0})] * 2 for t in range(4)}
+        path = tmp_path / "t.jsonl"
+        record_trace(path, lambda t: plan.get(t, []), ticks=4)
+        assert TraceReplayer(path).rates() == {"A": 2.0}
+
+
+class TestTraceValidation:
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"tick": 0, "stream": "A", "values": {}}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            TraceReplayer(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"tick": 0, "values": {}}) + "\n")
+        with pytest.raises(ValueError, match="malformed"):
+            TraceReplayer(path)
+
+    def test_negative_tick(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"tick": -1, "stream": "A", "values": {}}) + "\n")
+        with pytest.raises(ValueError, match="negative tick"):
+            TraceReplayer(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n{"tick": 0, "stream": "A", "values": {"k": 1}}\n\n')
+        assert TraceReplayer(path).n_tuples == 1
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        replay = TraceReplayer(path)
+        assert replay.n_tuples == 0
+        assert replay.rates() == {}
+
+
+class TestReplayThroughEngine:
+    def test_replayed_run_matches_original(self, tmp_path):
+        sc = PaperScenario(ScenarioParams(seed=9))
+        path = tmp_path / "trace.jsonl"
+        record_trace(path, sc.make_generator(), ticks=25)
+
+        def run(arrivals):
+            ex = sc.make_executor("amri:sria", capacity=1e9, memory_budget=1 << 30)
+            return ex.run(25, arrivals)
+
+        original = run(sc.make_generator())
+        replayed = run(TraceReplayer(path))
+        assert replayed.outputs == original.outputs
+        assert replayed.probes == original.probes
