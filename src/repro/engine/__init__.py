@@ -9,10 +9,19 @@ the paper's experimental platform.
 
 from repro.engine.aggregates import AggregateSpec, AggregationSink
 from repro.engine.executor import AMRExecutor, ExecutorConfig
+from repro.engine.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultPlan,
+    InvariantChecker,
+    InvariantViolation,
+    resolve_fault_plan,
+)
 from repro.engine.multi_query import MultiQueryExecutor, QuerySet
 from repro.engine.parser import QueryParseError, parse_query
 from repro.engine.query import JoinPredicate, Query
 from repro.engine.resources import (
+    DegradationPolicy,
     MemoryBreakdown,
     MemoryBudgetExceeded,
     ResourceMeter,
@@ -39,9 +48,16 @@ __all__ = [
     "QueryParseError",
     "QuerySet",
     "parse_query",
+    "DegradationPolicy",
     "EngineEvent",
     "EventLog",
     "ExecutorConfig",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "resolve_fault_plan",
     "ContentBasedRouter",
     "FixedRouter",
     "GreedyAdaptiveRouter",

@@ -30,7 +30,12 @@ from dataclasses import dataclass
 
 from repro.core.tuner import TuningContext
 from repro.engine.query import Query
-from repro.engine.resources import MemoryBreakdown, MemoryBudgetExceeded, ResourceMeter
+from repro.engine.resources import (
+    DegradationPolicy,
+    MemoryBreakdown,
+    MemoryBudgetExceeded,
+    ResourceMeter,
+)
 from repro.engine.router import Router
 from repro.engine.stats import RunStats, SelectivityEstimator
 from repro.engine.stem import SteM
@@ -85,6 +90,9 @@ class AMRExecutor:
         config: ExecutorConfig | None = None,
         output_sink=None,
         event_log=None,
+        fault_injector=None,
+        invariant_checker=None,
+        degradation: DegradationPolicy | None = None,
     ) -> None:
         missing = set(query.stream_names) - set(stems)
         if missing:
@@ -101,6 +109,9 @@ class AMRExecutor:
         self.stats = RunStats()
         self.output_sink = output_sink  # callable(list[JoinedTuple]) or None
         self.event_log = event_log  # repro.engine.tracing.EventLog or None
+        self.fault_injector = fault_injector  # repro.engine.faults.FaultInjector or None
+        self.invariant_checker = invariant_checker  # repro.engine.faults.InvariantChecker or None
+        self.degradation = degradation  # DegradationPolicy or None (die on breach)
         self._queue: deque[StreamTuple] = deque()
         self._n_streams = len(query.stream_names)
 
@@ -217,31 +228,124 @@ class AMRExecutor:
             stem.expire(now)
         self.meter.spend(self._total_index_cost() - cost_before)
 
+    def _tune_stem(self, stem: SteM, tick: int, *, forced: bool = False) -> None:
+        """One state's tuning round, with stats and event bookkeeping."""
+        context = TuningContext(
+            lambda_d=self.arrival_rates.get(stem.stream, 1.0),
+            window=float(self.query.window),
+            horizon=float(self.config.assess_interval),
+            domain_bits=self.domain_bits,
+        )
+        report = stem.tune(context)
+        if report is not None:
+            self.stats.tuning_rounds += 1
+            if report.migrated:
+                self.stats.migrations += 1
+            if self.event_log is not None:
+                kind = "migration" if report.migrated else "tune"
+                saving = report.projected_saving
+                detail: dict[str, object] = dict(
+                    old=report.old_description,
+                    new=report.new_description,
+                    # NaN (the hash tuner estimates no C_D) would poison
+                    # event equality (nan != nan); record None instead.
+                    saving=round(saving, 1) if saving == saving else None,
+                )
+                if forced:
+                    detail["forced"] = True
+                self.event_log.record(tick, kind, stem.stream, **detail)
+
     def _tune_all(self, tick: int = -1) -> None:
         cost_before = self._total_index_cost()
         for stem in self.stems.values():
-            context = TuningContext(
-                lambda_d=self.arrival_rates.get(stem.stream, 1.0),
-                window=float(self.query.window),
-                horizon=float(self.config.assess_interval),
-                domain_bits=self.domain_bits,
-            )
-            report = stem.tune(context)
-            if report is not None:
-                self.stats.tuning_rounds += 1
-                if report.migrated:
-                    self.stats.migrations += 1
-                if self.event_log is not None:
-                    kind = "migration" if report.migrated else "tune"
-                    self.event_log.record(
-                        tick,
-                        kind,
-                        stem.stream,
-                        old=report.old_description,
-                        new=report.new_description,
-                        saving=round(report.projected_saving, 1),
-                    )
+            self._tune_stem(stem, tick)
         self.meter.spend(self._total_index_cost() - cost_before)
+
+    # ------------------------------------------------------------------ #
+    # fault application and graceful degradation
+
+    def _apply_tuning_faults(self, tick: int) -> None:
+        """Apply this tick's injected tuning-level perturbations."""
+        injector = self.fault_injector
+        for stream in injector.corruptions(tick):
+            stem = self.stems[stream]
+            assessor = getattr(stem.tuner, "assessor", None)
+            if assessor is None:
+                continue
+            for ap in injector.corrupt_patterns(stem.jas):
+                assessor.record(ap)
+        forced = injector.forced_migrations(tick)
+        if forced:
+            cost_before = self._total_index_cost()
+            for stream in forced:
+                self._tune_stem(self.stems[stream], tick, forced=True)
+            self.meter.spend(self._total_index_cost() - cost_before)
+
+    def _shed_backlog(self, tick: int, breakdown: MemoryBreakdown, soft: int) -> MemoryBreakdown:
+        """Drop backlogged requests oldest-first until under ``soft`` bytes."""
+        policy = self.degradation
+        sheddable = len(self._queue) - policy.shed_floor
+        if sheddable <= 0:
+            return breakdown
+        per = self.meter.params.queue_item_bytes
+        excess = breakdown.total - soft
+        n = min(sheddable, -(-excess // per))  # ceil division
+        if n <= 0:
+            return breakdown
+        for _ in range(n):
+            self._queue.popleft()
+        self.stats.shed_tuples += n
+        if self.event_log is not None:
+            self.event_log.record(tick, "shed", None, count=n, freed=n * per)
+        return self._memory_breakdown()
+
+    def _degrade_indexes(self, tick: int, breakdown: MemoryBreakdown, budget: int) -> MemoryBreakdown:
+        """Fall heaviest-first from index structures to full scans."""
+        by_weight = sorted(
+            self.stems.values(), key=lambda s: s.index.memory_bytes, reverse=True
+        )
+        for stem in by_weight:
+            if breakdown.total <= budget:
+                break
+            if stem.degraded or stem.index.memory_bytes <= 0:
+                continue
+            freed = stem.index.memory_bytes
+            cost_before = self._total_index_cost()
+            moved = stem.degrade_to_scan()
+            self.meter.spend(self._total_index_cost() - cost_before)
+            self.stats.degradations += 1
+            if self.event_log is not None:
+                self.event_log.record(
+                    tick, "degrade", stem.stream, to="scan", freed=freed, moved=moved
+                )
+            breakdown = self._memory_breakdown()
+        return breakdown
+
+    def _audit_and_sample(self, tick: int) -> bool:
+        """Memory audit with graceful degradation; True when the run died."""
+        breakdown = self._memory_breakdown()
+        budget = self.meter.memory_budget
+        if self.fault_injector is not None:
+            budget = self.fault_injector.memory_budget(tick, budget)
+        policy = self.degradation
+        if policy is not None:
+            soft = int(policy.headroom * budget)
+            if breakdown.total > soft:
+                breakdown = self._shed_backlog(tick, breakdown, soft)
+            if policy.scan_fallback and breakdown.total > budget:
+                breakdown = self._degrade_indexes(tick, breakdown, budget)
+        self.stats.sample(tick, self.meter.total_spent, breakdown.total, len(self._queue))
+        try:
+            self.meter.check_memory(breakdown, tick, budget=budget)
+        except MemoryBudgetExceeded as exc:
+            self.stats.died_at = tick
+            self.stats.death_reason = str(exc)
+            if self.event_log is not None:
+                self.event_log.record(
+                    tick, "death", None, used=exc.used, budget=exc.budget
+                )
+            return True
+        return False
 
     # ------------------------------------------------------------------ #
     # the loop
@@ -252,30 +356,37 @@ class AMRExecutor:
         ``arrivals`` is a callable ``tick -> list[StreamTuple]`` (workload
         generators provide it).  Returns the collected :class:`RunStats`;
         an out-of-memory death is recorded on the stats, not raised.
+
+        With a :class:`~repro.engine.faults.FaultInjector` attached, the
+        tick's arrivals and budget pass through it first; with a
+        :class:`~repro.engine.resources.DegradationPolicy` attached, memory
+        pressure sheds backlog and degrades indexes (``shed`` / ``degrade``
+        events) before it can kill the run.
         """
         check_positive("duration", duration)
         cfg = self.config
+        injector = self.fault_injector
         for tick in range(duration):
             self.meter.start_tick()
-            for item in arrivals(tick):
+            items = arrivals(tick)
+            if injector is not None:
+                injector.begin_tick(tick, self.event_log)
+                items = injector.perturb_arrivals(tick, items)
+            for item in items:
                 if self._admit_tuple(item):
                     self._queue.append(item)
             self._expire_all(tick)
             while self._queue and not self.meter.exhausted:
                 self._process_tuple(self._queue.popleft())
+            if injector is not None:
+                self._apply_tuning_faults(tick)
             if tick >= cfg.tune_warmup and tick > 0 and tick % cfg.assess_interval == 0:
                 self._tune_all(tick)
             if tick % cfg.sample_interval == 0 or tick == duration - 1:
-                breakdown = self._memory_breakdown()
-                self.stats.sample(tick, self.meter.total_spent, breakdown.total, len(self._queue))
-                try:
-                    self.meter.check_memory(breakdown, tick)
-                except MemoryBudgetExceeded as exc:
-                    self.stats.died_at = tick
-                    self.stats.death_reason = str(exc)
-                    if self.event_log is not None:
-                        self.event_log.record(
-                            tick, "death", None, used=exc.used, budget=exc.budget
-                        )
+                if self._audit_and_sample(tick):
                     break
+            if self.invariant_checker is not None:
+                self.invariant_checker.check(self, tick)
+        if injector is not None:
+            self.stats.faults_injected = injector.injected
         return self.stats

@@ -1,0 +1,404 @@
+"""Deterministic fault injection and run-invariant checking.
+
+The paper's headline failure mode is an index scheme dying of memory
+mid-run (Section V); robustness work on runtime-optimised stream joins
+treats hostile load as a first-class evaluation axis.  This module makes
+such stress *injectable and reproducible*: a :class:`FaultInjector` is
+attached to an :class:`~repro.engine.executor.AMRExecutor` and consulted at
+fixed points of every tick to perturb the run —
+
+- **bursts** — arrivals on one stream are replicated for a few ticks;
+- **stalls** — arrivals on one stream are suppressed for a few ticks;
+- **drops** — individual arriving tuples are lost;
+- **delays** — individual arriving tuples are held back and re-delivered
+  (re-stamped) a few ticks later, as a lossy network would;
+- **forced migrations** — an out-of-schedule tuning round is forced on one
+  state, as if the tuner misfired;
+- **memory squeezes** — the memory budget is transiently multiplied down,
+  modelling co-tenant pressure;
+- **statistics corruption** — bogus access-pattern records are injected
+  into one state's assessment sampler, poisoning its frequency estimates.
+
+Everything is driven by a per-tick child RNG derived from ``(fault seed,
+tick)`` via :func:`~repro.utils.rng.derive_seed`, so the same ``(workload
+seed, fault seed)`` pair yields the same perturbation sequence in-process
+or in a worker pool, and faults on identical arrival streams are identical
+across index schemes — which is what lets the differential tests compare
+scheme outputs *under* faults.
+
+Arrival-level faults (burst/stall/drop/delay) and tuning-level faults
+(forced migration, corruption) never change join semantics, only load and
+indexing decisions; memory squeezes do change what a budgeted run can
+survive, which is exactly what the graceful-degradation policy (see
+:class:`~repro.engine.resources.DegradationPolicy`) is tested against.
+
+:class:`InvariantChecker` is the other half of the story: attached to any
+run, it re-verifies window-expiry, memory-accounting, index/window
+consistency, sampled index completeness, and statistics monotonicity every
+tick — without perturbing the virtual clock (accountants are snapshotted
+and restored around its probes).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, fields
+
+from repro.core.access_pattern import AccessPattern
+from repro.engine.tuples import StreamTuple
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-tick fault activation probabilities and effect shapes.
+
+    All probabilities are evaluated once per tick (per stream where the
+    fault targets a stream); an all-zero plan injects nothing.  Effect
+    lengths are in ticks.
+    """
+
+    burst_prob: float = 0.0  # start an arrival burst on one stream
+    burst_factor: int = 3  # arrival replication factor while bursting
+    burst_len: int = 5
+    stall_prob: float = 0.0  # start an arrival stall on one stream
+    stall_len: int = 3
+    drop_prob: float = 0.0  # lose each arriving tuple independently
+    delay_prob: float = 0.0  # hold back each arriving tuple independently
+    delay_ticks: int = 4
+    migrate_prob: float = 0.0  # force an out-of-schedule tuning round
+    squeeze_prob: float = 0.0  # start a transient memory-budget squeeze
+    squeeze_factor: float = 0.5  # budget multiplier while squeezed
+    squeeze_len: int = 5
+    corrupt_prob: float = 0.0  # poison one state's assessment sampler
+    corrupt_records: int = 40  # bogus pattern records per corruption
+
+    def __post_init__(self) -> None:
+        for name in (
+            "burst_prob",
+            "stall_prob",
+            "drop_prob",
+            "delay_prob",
+            "migrate_prob",
+            "squeeze_prob",
+            "corrupt_prob",
+        ):
+            check_fraction(name, getattr(self, name))
+        check_positive("burst_factor", self.burst_factor)
+        check_positive("burst_len", self.burst_len)
+        check_positive("stall_len", self.stall_len)
+        check_positive("delay_ticks", self.delay_ticks)
+        check_fraction("squeeze_factor", self.squeeze_factor, inclusive_low=False)
+        check_positive("squeeze_len", self.squeeze_len)
+        check_non_negative("corrupt_records", self.corrupt_records)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault has a non-zero activation probability."""
+        return any(
+            getattr(self, f.name) > 0.0 for f in fields(self) if f.name.endswith("_prob")
+        )
+
+
+#: Named presets selectable from harnesses and the CLI (``--faults``).
+#: ``arrivals`` and ``tuning`` are semantics-preserving (identical outputs
+#: across index schemes on identical arrivals); ``memory`` stresses the
+#: degradation path; ``chaos`` is everything at once.
+FAULT_PROFILES: dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    "arrivals": FaultPlan(
+        burst_prob=0.04, stall_prob=0.03, drop_prob=0.02, delay_prob=0.03
+    ),
+    "tuning": FaultPlan(migrate_prob=0.05, corrupt_prob=0.05),
+    "memory": FaultPlan(squeeze_prob=0.04, squeeze_factor=0.45, squeeze_len=6),
+    "chaos": FaultPlan(
+        burst_prob=0.03,
+        stall_prob=0.02,
+        drop_prob=0.02,
+        delay_prob=0.02,
+        migrate_prob=0.03,
+        squeeze_prob=0.03,
+        corrupt_prob=0.03,
+    ),
+}
+
+
+def resolve_fault_plan(faults: FaultPlan | str | None) -> FaultPlan | None:
+    """Accept a plan, a profile name, or ``None``; return a plan or ``None``."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults
+    try:
+        return FAULT_PROFILES[faults]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {faults!r}; expected one of {sorted(FAULT_PROFILES)}"
+        ) from None
+
+
+class FaultInjector:
+    """Seeded, deterministic per-tick run perturbation.
+
+    The executor drives the injector in a fixed order each tick:
+
+    1. :meth:`begin_tick` — roll this tick's activations (new bursts,
+       stalls, squeezes, forced migrations, corruptions) and log them as
+       ``fault`` events;
+    2. :meth:`perturb_arrivals` — apply stall/drop/delay/burst to the
+       tick's arrival batch and release previously delayed tuples;
+    3. :meth:`memory_budget` — the (possibly squeezed) budget for the
+       tick's memory audit;
+    4. :meth:`forced_migrations` / :meth:`corruptions` — tuning-level
+       perturbations for the executor to apply.
+
+    All randomness for tick ``t`` comes from a child RNG derived from
+    ``(seed, t)``, so the injected schedule depends only on the fault seed
+    — never on scheme behaviour, execution order, or process boundaries.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | str,
+        streams: Sequence[str],
+        *,
+        seed: int = 0,
+    ) -> None:
+        resolved = resolve_fault_plan(plan)
+        if resolved is None:
+            raise ValueError("FaultInjector needs a plan; use None at the call site instead")
+        if not streams:
+            raise ValueError("need at least one stream to perturb")
+        self.plan = resolved
+        self.streams = tuple(streams)
+        self.seed = int(seed)
+
+        self._burst_until: dict[str, int] = {}
+        self._stall_until: dict[str, int] = {}
+        self._squeeze_until: int = -1
+        self._delayed: dict[int, list[StreamTuple]] = {}
+        self._tick_rng: random.Random | None = None
+        self._forced: tuple[str, ...] = ()
+        self._corrupt: tuple[str, ...] = ()
+        self.injected = 0  # fault activations so far (all types)
+
+    # ------------------------------------------------------------------ #
+    # per-tick protocol
+
+    def begin_tick(self, tick: int, event_log=None) -> None:
+        """Roll this tick's fault activations (call once, first)."""
+        plan = self.plan
+        rng = random.Random(derive_seed(self.seed, "fault-tick", tick))
+        self._tick_rng = rng
+        forced: list[str] = []
+        corrupt: list[str] = []
+        # Stream-targeted activations roll in a fixed stream order so the
+        # draw sequence is identical for every run of the same seed.
+        for stream in self.streams:
+            if plan.burst_prob > 0.0 and rng.random() < plan.burst_prob:
+                if self._burst_until.get(stream, -1) < tick:
+                    self._burst_until[stream] = tick + plan.burst_len - 1
+                    self._activated(
+                        event_log, tick, "burst", stream,
+                        factor=plan.burst_factor, until=self._burst_until[stream],
+                    )
+            if plan.stall_prob > 0.0 and rng.random() < plan.stall_prob:
+                if self._stall_until.get(stream, -1) < tick:
+                    self._stall_until[stream] = tick + plan.stall_len - 1
+                    self._activated(
+                        event_log, tick, "stall", stream,
+                        until=self._stall_until[stream],
+                    )
+            if plan.migrate_prob > 0.0 and rng.random() < plan.migrate_prob:
+                forced.append(stream)
+                self._activated(event_log, tick, "migrate", stream)
+            if plan.corrupt_prob > 0.0 and rng.random() < plan.corrupt_prob:
+                corrupt.append(stream)
+                self._activated(
+                    event_log, tick, "corrupt", stream,
+                    records=plan.corrupt_records,
+                )
+        if plan.squeeze_prob > 0.0 and rng.random() < plan.squeeze_prob:
+            if self._squeeze_until < tick:
+                self._squeeze_until = tick + plan.squeeze_len - 1
+                self._activated(
+                    event_log, tick, "squeeze", None,
+                    factor=plan.squeeze_factor, until=self._squeeze_until,
+                )
+        self._forced = tuple(forced)
+        self._corrupt = tuple(corrupt)
+
+    def perturb_arrivals(
+        self, tick: int, items: list[StreamTuple]
+    ) -> list[StreamTuple]:
+        """The tick's effective arrivals after stall/drop/delay/burst.
+
+        Delayed tuples re-enter here at their release tick, re-stamped with
+        the delivery tick (a late tuple *arrives* late — windows and
+        join-order tie-breaking see the delivery time).
+        """
+        plan = self.plan
+        rng = self._require_tick_rng()
+        out: list[StreamTuple] = [
+            StreamTuple(d.stream, tick, dict(d))
+            for d in self._delayed.pop(tick, [])
+        ]
+        for item in items:
+            if self._stall_until.get(item.stream, -1) >= tick:
+                continue
+            if plan.drop_prob > 0.0 and rng.random() < plan.drop_prob:
+                continue
+            if plan.delay_prob > 0.0 and rng.random() < plan.delay_prob:
+                self._delayed.setdefault(tick + plan.delay_ticks, []).append(item)
+                continue
+            out.append(item)
+            if self._burst_until.get(item.stream, -1) >= tick:
+                out.extend(
+                    StreamTuple(item.stream, tick, dict(item))
+                    for _ in range(plan.burst_factor - 1)
+                )
+        return out
+
+    def memory_budget(self, tick: int, base: int) -> int:
+        """The effective memory budget at ``tick`` (squeezed or not)."""
+        if self._squeeze_until >= tick:
+            return max(int(base * self.plan.squeeze_factor), 1)
+        return base
+
+    def forced_migrations(self, tick: int) -> tuple[str, ...]:
+        """Streams whose state must run an out-of-schedule tuning round."""
+        return self._forced
+
+    def corruptions(self, tick: int) -> tuple[str, ...]:
+        """Streams whose assessment sampler gets poisoned this tick."""
+        return self._corrupt
+
+    def corrupt_patterns(self, jas) -> list[AccessPattern]:
+        """Bogus access patterns to record against one poisoned state."""
+        rng = self._require_tick_rng()
+        full = jas.full_mask
+        return [
+            AccessPattern.from_mask(jas, rng.randint(1, full))
+            for _ in range(self.plan.corrupt_records)
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    def _require_tick_rng(self) -> random.Random:
+        if self._tick_rng is None:
+            raise RuntimeError("begin_tick must be called before per-tick perturbation")
+        return self._tick_rng
+
+    def _activated(
+        self, event_log, tick: int, fault: str, stream: str | None, **detail: object
+    ) -> None:
+        self.injected += 1
+        if event_log is not None:
+            event_log.record(tick, "fault", stream, fault=fault, **detail)
+
+
+class InvariantViolation(AssertionError):
+    """An attached :class:`InvariantChecker` caught the engine misbehaving."""
+
+
+class InvariantChecker:
+    """Per-tick engine invariant assertions, attachable to any run.
+
+    The executor calls :meth:`check` at the end of every surviving tick.
+    Checks (each individually switchable):
+
+    - **window expiry** — no state retains a tuple whose window has passed;
+    - **index/window consistency** — every index holds exactly the live
+      window population;
+    - **memory accounting** — every memory gauge and breakdown component is
+      non-negative and the backlog charge matches the queue length;
+    - **index completeness (sampled)** — the oldest live tuple of each
+      state is findable through its own index (a cheap stand-in for full
+      join-completeness, which the differential suite verifies end-to-end);
+    - **statistics monotonicity** — cumulative counters never decrease.
+
+    Probing an index charges its accountant, which would perturb the
+    virtual clock; the checker snapshots and restores every accountant it
+    touches so an attached checker leaves :class:`RunStats` byte-identical.
+    """
+
+    def __init__(
+        self,
+        *,
+        check_windows: bool = True,
+        check_index: bool = True,
+        check_memory: bool = True,
+        check_completeness: bool = True,
+        check_stats: bool = True,
+    ) -> None:
+        self.check_windows = check_windows
+        self.check_index = check_index
+        self.check_memory = check_memory
+        self.check_completeness = check_completeness
+        self.check_stats = check_stats
+        self.ticks_checked = 0
+        self._prev_outputs = 0
+        self._prev_probes = 0
+
+    def check(self, executor, tick: int) -> None:
+        """Assert every enabled invariant; raise :class:`InvariantViolation`."""
+        for stem in executor.stems.values():
+            if self.check_windows:
+                oldest = getattr(stem.window, "oldest_expiry", lambda: None)()
+                if oldest is not None and oldest <= tick:
+                    raise InvariantViolation(
+                        f"t={tick} [{stem.stream}] window holds a tuple expired at {oldest}"
+                    )
+            if self.check_index and stem.index.size != len(stem.window):
+                raise InvariantViolation(
+                    f"t={tick} [{stem.stream}] index size {stem.index.size} "
+                    f"!= window population {len(stem.window)}"
+                )
+            if self.check_memory and stem.index.memory_bytes < 0:
+                raise InvariantViolation(
+                    f"t={tick} [{stem.stream}] negative index memory gauge "
+                    f"{stem.index.memory_bytes}"
+                )
+            if self.check_completeness:
+                self._check_completeness(stem, tick)
+        if self.check_memory:
+            breakdown = executor._memory_breakdown()
+            for name in ("state_payload", "index_structures", "backlog", "statistics"):
+                if getattr(breakdown, name) < 0:
+                    raise InvariantViolation(
+                        f"t={tick} negative memory component {name}"
+                    )
+            expected_backlog = executor.backlog * executor.meter.params.queue_item_bytes
+            if breakdown.backlog != expected_backlog:
+                raise InvariantViolation(
+                    f"t={tick} backlog charge {breakdown.backlog} != "
+                    f"{executor.backlog} queued items x queue_item_bytes"
+                )
+        if self.check_stats:
+            stats = executor.stats
+            if stats.outputs < self._prev_outputs or stats.probes < self._prev_probes:
+                raise InvariantViolation(f"t={tick} cumulative counters decreased")
+            self._prev_outputs = stats.outputs
+            self._prev_probes = stats.probes
+        self.ticks_checked += 1
+
+    def _check_completeness(self, stem, tick: int) -> None:
+        sample = next(iter(stem.window), None)
+        if sample is None:
+            return
+        ap = AccessPattern.from_attributes(stem.jas, stem.jas.names[:1])
+        before = stem.index.accountant.snapshot()
+        try:
+            outcome = stem.index.search(ap, sample)
+            found = any(m is sample for m in outcome.matches)
+        finally:
+            # Restore the accountant so the audit probe never touches the
+            # virtual clock (observer-effect-free checking).
+            stem.index.accountant.__dict__.update(before.__dict__)
+        if not found:
+            raise InvariantViolation(
+                f"t={tick} [{stem.stream}] live tuple {sample!r} not findable "
+                f"through {stem.index.describe()}"
+            )

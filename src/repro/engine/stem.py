@@ -18,6 +18,7 @@ from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner, TuneReport, T
 from repro.engine.tuples import StreamTuple
 from repro.engine.window import CountWindow, SlidingWindow
 from repro.indexes.base import CostParams, SearchOutcome, StateIndex
+from repro.indexes.scan_index import ScanIndex
 
 Tuner = AMRITuner | HashIndexTuner | NullTuner
 
@@ -102,6 +103,37 @@ class SteM:
     def tune(self, context: TuningContext) -> TuneReport | None:
         """Run one tuning round (delegates to the tuner)."""
         return self.tuner.tune(context)
+
+    @property
+    def degraded(self) -> bool:
+        """True once the state has fallen back to an unindexed full scan."""
+        return isinstance(self.index, ScanIndex)
+
+    def degrade_to_scan(self) -> int:
+        """Swap the physical index for the full-scan fallback; returns
+        the number of live tuples relocated.
+
+        The graceful-degradation escape hatch under memory pressure: the
+        index structure's bytes are released (a ``ScanIndex`` keeps only a
+        per-tuple reference) and future probes pay full-scan cost instead.
+        The relocation is charged as ``moves`` on the shared accountant, so
+        the virtual clock sees the rebuild.  Tuning is disabled afterwards
+        (there is no structure left to tune) but the assessor keeps
+        recording, so a later operator can still see what the state is
+        asked for.
+        """
+        if self.degraded:
+            return 0
+        live = list(self.window)
+        acct = self.index.accountant
+        acct.index_bytes = 0  # the old structure is gone wholesale
+        acct.moves += len(live)
+        fallback = ScanIndex(self.jas, acct, self.cost_params)
+        for item in live:
+            fallback.insert(item)
+        self.index = fallback
+        self.tuner = NullTuner(getattr(self.tuner, "assessor", None))
+        return len(live)
 
     def describe(self) -> str:
         """One-line state summary for logs."""

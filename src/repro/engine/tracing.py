@@ -1,10 +1,17 @@
 """Structured event tracing for engine runs.
 
 An :class:`EventLog` attached to an executor records the discrete events a
-run produces — tuning rounds, index migrations, memory death — with their
-tick and context, so experiments can answer "when and why did this scheme
-fall behind" without re-running.  Events are plain frozen records; the log
-is append-only and cheap (no-op when absent).
+run produces — tuning rounds, index migrations, injected faults, graceful
+degradation, backlog shedding, memory death — with their tick and context,
+so experiments can answer "when and why did this scheme fall behind"
+without re-running.  Events are plain frozen records; the log is
+append-only and cheap (no-op when absent).
+
+Event kinds form an open registry: the engine ships the built-in kinds
+below, and extensions (new subsystems, custom executors) add their own via
+:func:`register_event_kind` instead of editing this module.  Creating an
+:class:`EngineEvent` with an unregistered kind is still a hard error —
+typos in event kinds should fail loudly, not silently fragment the log.
 """
 
 from __future__ import annotations
@@ -12,7 +19,27 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 
-EVENT_KINDS = ("tune", "migration", "death")
+#: The built-in kinds (kept as a tuple for backward compatibility).
+EVENT_KINDS = ("tune", "migration", "death", "fault", "degrade", "shed")
+
+_REGISTERED_KINDS: set[str] = set(EVENT_KINDS)
+
+
+def register_event_kind(kind: str) -> str:
+    """Register a new event kind; returns it (idempotent).
+
+    Extensions call this once at import time so their events pass the
+    :class:`EngineEvent` validity check.
+    """
+    if not kind or not kind.replace("-", "_").isidentifier():
+        raise ValueError(f"event kind must be a short identifier, got {kind!r}")
+    _REGISTERED_KINDS.add(kind)
+    return kind
+
+
+def registered_event_kinds() -> frozenset[str]:
+    """Every currently valid event kind (built-ins plus registrations)."""
+    return frozenset(_REGISTERED_KINDS)
 
 
 @dataclass(frozen=True)
@@ -25,8 +52,11 @@ class EngineEvent:
     detail: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in EVENT_KINDS:
-            raise ValueError(f"unknown event kind {self.kind!r}; expected one of {EVENT_KINDS}")
+        if self.kind not in _REGISTERED_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{sorted(_REGISTERED_KINDS)} (see register_event_kind)"
+            )
 
     def __str__(self) -> str:
         where = f" [{self.stream}]" if self.stream else ""
@@ -60,6 +90,13 @@ class EventLog:
         if stream is not None:
             out = [e for e in out if e.stream == stream]
         return list(out)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """How many events of each kind the run produced."""
+        counts: dict[str, int] = {}
+        for e in self._events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
 
     def migrations_by_stream(self) -> dict[str, int]:
         """Migration counts per state — where the tuner is working hardest."""

@@ -104,6 +104,12 @@ def run_scheme(
     When ``training`` is given, bit-address schemes start from the trained
     ICs and the hash baseline from the trained most-frequent patterns (the
     paper's protocol for the Figure 6/7 baselines).
+
+    Robustness knobs pass straight through ``executor_overrides`` to
+    :meth:`~repro.workloads.scenarios.PaperScenario.make_executor`:
+    ``faults=`` / ``fault_seed=`` for deterministic fault injection,
+    ``degradation=`` for graceful degradation under memory pressure, and
+    ``event_log=`` to capture the run's fault/degrade/shed timeline.
     """
     initial_configs = training.configs if training is not None else None
     initial_hash = None

@@ -21,14 +21,24 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
+from repro.engine.tracing import EngineEvent, EventLog
 from repro.experiments.harness import run_scheme, train_initial_state
 from repro.workloads.scenarios import PaperScenario, ScenarioParams
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One independent experiment run, fully described by value."""
+    """One independent experiment run, fully described by value.
+
+    ``faults`` names a profile from
+    :data:`~repro.engine.faults.FAULT_PROFILES` (a name, not a plan, so
+    specs stay hashable and cheap to pickle); ``fault_seed`` seeds its
+    deterministic injector.  ``degrade=True`` attaches the default
+    :class:`~repro.engine.resources.DegradationPolicy` so memory pressure
+    sheds and degrades instead of killing the run.
+    """
 
     params: ScenarioParams
     scheme: str
@@ -37,6 +47,9 @@ class RunSpec:
     train_ticks: int = 100
     seed_offset: int = 0
     label: str | None = None
+    faults: str | None = None
+    fault_seed: int = 0
+    degrade: bool = False
 
     def display_label(self) -> str:
         """The spec's name in result listings."""
@@ -45,10 +58,11 @@ class RunSpec:
 
 @dataclass
 class RunOutcome:
-    """A spec together with its run statistics."""
+    """A spec together with its run statistics and event timeline."""
 
     spec: RunSpec
     stats: RunStats
+    events: tuple[EngineEvent, ...] = ()
 
     @property
     def outputs(self) -> int:
@@ -61,10 +75,19 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     training = (
         train_initial_state(scenario, train_ticks=spec.train_ticks) if spec.train else None
     )
+    log = EventLog()
     stats = run_scheme(
-        scenario, spec.scheme, spec.ticks, training=training, seed_offset=spec.seed_offset
+        scenario,
+        spec.scheme,
+        spec.ticks,
+        training=training,
+        seed_offset=spec.seed_offset,
+        event_log=log,
+        faults=spec.faults,
+        fault_seed=spec.fault_seed,
+        degradation=DegradationPolicy() if spec.degrade else None,
     )
-    return RunOutcome(spec=spec, stats=stats)
+    return RunOutcome(spec=spec, stats=stats, events=tuple(log))
 
 
 def run_parallel(specs: list[RunSpec], *, workers: int = 4) -> list[RunOutcome]:

@@ -10,6 +10,10 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.engine.stats import RunStats
+from repro.engine.tracing import EngineEvent
+
+#: Event kinds that appear on a robustness timeline, in display order.
+TIMELINE_KINDS = ("fault", "shed", "degrade", "death")
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -77,6 +81,39 @@ def format_throughput_figure(
     parts = [title, body]
     if death_notes:
         parts.append("\n".join(death_notes))
+    return "\n".join(parts)
+
+
+def format_fault_timeline(
+    title: str,
+    events_by_scheme: Mapping[str, Sequence[EngineEvent]],
+    *,
+    max_lines: int = 20,
+) -> str:
+    """The robustness 'figure': per-scheme fault/shed/degrade/death timeline.
+
+    One count row per scheme, followed by each scheme's first
+    ``max_lines`` timeline events as one-liners (faults injected, backlog
+    shed, indexes degraded to scan, death) so a report shows *when* a
+    scheme started to fall apart, not just whether it did.
+    """
+    rows = []
+    for name, events in events_by_scheme.items():
+        counts = {k: 0 for k in TIMELINE_KINDS}
+        for e in events:
+            if e.kind in counts:
+                counts[e.kind] += 1
+        rows.append([name] + [counts[k] for k in TIMELINE_KINDS])
+    parts = [title, format_table(["scheme", *TIMELINE_KINDS], rows)]
+    for name, events in events_by_scheme.items():
+        timeline = [e for e in events if e.kind in TIMELINE_KINDS]
+        if not timeline:
+            continue
+        shown = timeline[:max_lines]
+        lines = [f"  {e}" for e in shown]
+        if len(timeline) > len(shown):
+            lines.append(f"  ... {len(timeline) - len(shown)} more")
+        parts.append(f"{name}:\n" + "\n".join(lines))
     return "\n".join(parts)
 
 

@@ -5,6 +5,12 @@
 (or the sensor scenario with ``--scenario sensor``) and writes one CSV per
 scheme (tick, cumulative outputs, memory, backlog) plus a summary CSV —
 enough to re-plot any figure outside this repository.
+
+Robustness flags: ``--faults <profile>`` injects a deterministic fault
+schedule (``--fault-seed`` varies it independently of the workload seed),
+``--degrade`` enables graceful degradation instead of OOM death, and the
+report gains a per-scheme fault/shed/degrade/death timeline (also exported
+as ``<scenario>_events.csv`` with ``--csv``).
 """
 
 from __future__ import annotations
@@ -14,9 +20,16 @@ import csv
 import sys
 from pathlib import Path
 
+from repro.engine.faults import FAULT_PROFILES
+from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
+from repro.engine.tracing import EngineEvent, EventLog
 from repro.experiments.harness import run_scheme, train_initial_state
-from repro.experiments.reporting import format_table, format_throughput_figure
+from repro.experiments.reporting import (
+    format_fault_timeline,
+    format_table,
+    format_throughput_figure,
+)
 from repro.workloads.scenarios import PaperScenario, ScenarioParams, sensor_network_scenario
 
 SCENARIOS = ("paper", "sensor")
@@ -44,11 +57,44 @@ def write_summary_csv(path: Path, runs: dict[str, RunStats]) -> None:
     """Cross-scheme summary as CSV."""
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(["scheme", "outputs", "died_at", "migrations", "probes", "source_tuples"])
+        writer.writerow(
+            [
+                "scheme",
+                "outputs",
+                "died_at",
+                "migrations",
+                "probes",
+                "source_tuples",
+                "faults_injected",
+                "shed_tuples",
+                "degradations",
+            ]
+        )
         for name, stats in runs.items():
             writer.writerow(
-                [name, stats.outputs, stats.died_at, stats.migrations, stats.probes, stats.source_tuples]
+                [
+                    name,
+                    stats.outputs,
+                    stats.died_at,
+                    stats.migrations,
+                    stats.probes,
+                    stats.source_tuples,
+                    stats.faults_injected,
+                    stats.shed_tuples,
+                    stats.degradations,
+                ]
             )
+
+
+def write_events_csv(path: Path, events_by_scheme: dict[str, list[EngineEvent]]) -> None:
+    """Every scheme's event timeline as one CSV (scheme, tick, kind, ...)."""
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["scheme", "tick", "kind", "stream", "detail"])
+        for name, events in events_by_scheme.items():
+            for e in events:
+                detail = ";".join(f"{k}={v}" for k, v in e.detail.items())
+                writer.writerow([name, e.tick, e.kind, e.stream or "", detail])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,6 +110,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--no-train", action="store_true", help="skip quasi-training")
     parser.add_argument("--csv", type=Path, default=None, help="directory for CSV export")
+    parser.add_argument(
+        "--faults",
+        choices=sorted(FAULT_PROFILES),
+        default="none",
+        help="deterministic fault-injection profile",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed of the fault schedule"
+    )
+    parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help="shed backlog / fall back to scan under memory pressure instead of dying",
+    )
     args = parser.parse_args(argv)
 
     scenario = build_scenario(args.scenario, args.seed)
@@ -71,9 +131,23 @@ def main(argv: list[str] | None = None) -> int:
     training = (
         None if args.no_train else train_initial_state(scenario, train_ticks=args.train_ticks)
     )
+    faults = None if args.faults == "none" else args.faults
+    degradation = DegradationPolicy() if args.degrade else None
     runs: dict[str, RunStats] = {}
+    events: dict[str, list[EngineEvent]] = {}
     for scheme in schemes:
-        runs[scheme] = run_scheme(scenario, scheme, args.ticks, training=training)
+        log = EventLog()
+        runs[scheme] = run_scheme(
+            scenario,
+            scheme,
+            args.ticks,
+            training=training,
+            event_log=log,
+            faults=faults,
+            fault_seed=args.fault_seed,
+            degradation=degradation,
+        )
+        events[scheme] = list(log)
 
     print(format_throughput_figure(f"{args.scenario} scenario, {args.ticks} ticks", runs))
     rows = [
@@ -81,6 +155,13 @@ def main(argv: list[str] | None = None) -> int:
         for name, stats in runs.items()
     ]
     print(format_table(["scheme", "outputs", "died at", "migrations"], rows))
+    if faults is not None or any(events.values()):
+        title = (
+            f"\nfault timeline ({args.faults}, fault seed {args.fault_seed})"
+            if faults is not None
+            else "\nevent timeline"
+        )
+        print(format_fault_timeline(title, events))
 
     if args.csv is not None:
         args.csv.mkdir(parents=True, exist_ok=True)
@@ -88,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
             safe = name.replace(":", "_")
             write_series_csv(args.csv / f"{args.scenario}_{safe}.csv", stats)
         write_summary_csv(args.csv / f"{args.scenario}_summary.csv", runs)
+        write_events_csv(args.csv / f"{args.scenario}_events.csv", events)
         print(f"\nCSV written to {args.csv}/")
     return 0
 

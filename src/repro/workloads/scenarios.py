@@ -30,8 +30,9 @@ from repro.core.index_config import IndexConfiguration, uniform_configuration
 from repro.core.selector import IndexSelector, select_hash_patterns
 from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner
 from repro.engine.executor import AMRExecutor, ExecutorConfig
+from repro.engine.faults import FaultInjector, FaultPlan, resolve_fault_plan
 from repro.engine.query import JoinPredicate, Query
-from repro.engine.resources import ResourceMeter
+from repro.engine.resources import DegradationPolicy, ResourceMeter
 from repro.engine.router import (
     ContentBasedRouter,
     FixedRouter,
@@ -261,8 +262,21 @@ class PaperScenario:
         memory_budget: int | None = None,
         explore_prob: float | None = None,
         assess_interval: int | None = None,
+        output_sink=None,
+        event_log=None,
+        faults: "FaultPlan | str | None" = None,
+        fault_seed: int = 0,
+        invariant_checker=None,
+        degradation: DegradationPolicy | None = None,
     ) -> AMRExecutor:
-        """A ready-to-run executor for the named scheme."""
+        """A ready-to-run executor for the named scheme.
+
+        ``faults`` (a :class:`~repro.engine.faults.FaultPlan` or a profile
+        name from :data:`~repro.engine.faults.FAULT_PROFILES`) attaches a
+        deterministic :class:`~repro.engine.faults.FaultInjector` seeded
+        with ``fault_seed`` — independent of the scenario seed, so the same
+        workload can be stressed with many fault schedules and vice versa.
+        """
         p = self.params
         stems = self.build_stems(
             scheme,
@@ -280,6 +294,12 @@ class PaperScenario:
         config = ExecutorConfig(
             assess_interval=p.assess_interval if assess_interval is None else assess_interval,
         )
+        plan = resolve_fault_plan(faults)
+        injector = (
+            FaultInjector(plan, p.stream_names, seed=fault_seed)
+            if plan is not None and plan.enabled
+            else None
+        )
         return AMRExecutor(
             self.query,
             stems,
@@ -288,6 +308,11 @@ class PaperScenario:
             arrival_rates={s: float(p.rate) for s in p.stream_names},
             domain_bits=self.domain_bits(),
             config=config,
+            output_sink=output_sink,
+            event_log=event_log,
+            fault_injector=injector,
+            invariant_checker=invariant_checker,
+            degradation=degradation,
         )
 
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.engine.tracing import EngineEvent, EventLog
+from repro.engine.tracing import (
+    EVENT_KINDS,
+    EngineEvent,
+    EventLog,
+    register_event_kind,
+    registered_event_kinds,
+)
 
 
 class TestEventLog:
@@ -28,11 +34,59 @@ class TestEventLog:
         with pytest.raises(ValueError):
             EngineEvent(1, "explosion")
 
+    def test_robustness_kinds_accepted(self):
+        log = EventLog()
+        log.record(3, "fault", "A", fault="burst", factor=3)
+        log.record(9, "shed", None, count=40)
+        log.record(12, "degrade", "B", to="scan")
+        assert [e.kind for e in log] == ["fault", "shed", "degrade"]
+        assert log.events("fault")[0].detail["fault"] == "burst"
+
+    def test_counts_by_kind(self):
+        log = EventLog()
+        log.record(1, "fault", "A", fault="stall")
+        log.record(2, "fault", "B", fault="stall")
+        log.record(3, "shed", None, count=5)
+        assert log.counts_by_kind() == {"fault": 2, "shed": 1}
+
     def test_to_lines(self):
         log = EventLog()
         log.record(7, "migration", "C", old="a", new="b")
         line = log.to_lines()[0]
         assert "t=7" in line and "[C]" in line and "old=a" in line
+
+
+class TestEventKindRegistry:
+    def test_builtins_registered(self):
+        assert set(EVENT_KINDS) <= registered_event_kinds()
+
+    def test_register_new_kind(self):
+        assert "checkpoint" not in registered_event_kinds()
+        try:
+            assert register_event_kind("checkpoint") == "checkpoint"
+            event = EngineEvent(4, "checkpoint", "A", {"reason": "test"})
+            assert event.kind == "checkpoint"
+            # Registration is idempotent.
+            register_event_kind("checkpoint")
+        finally:
+            # Keep the registry clean for other tests.
+            from repro.engine import tracing
+
+            tracing._REGISTERED_KINDS.discard("checkpoint")
+
+    def test_unregistered_kind_still_rejected(self):
+        with pytest.raises(ValueError):
+            EngineEvent(1, "checkpoint2")
+
+    def test_rejects_malformed_kind_names(self):
+        with pytest.raises(ValueError):
+            register_event_kind("")
+        with pytest.raises(ValueError):
+            register_event_kind("has space")
+
+    def test_registry_view_is_immutable(self):
+        kinds = registered_event_kinds()
+        assert isinstance(kinds, frozenset)
 
 
 class TestTracedRun:
@@ -61,3 +115,20 @@ class TestTracedRun:
         deaths = log.events("death")
         assert len(deaths) == 1
         assert deaths[0].tick == stats.died_at
+
+    def test_fault_events_match_injector_count(self):
+        from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+        sc = PaperScenario(ScenarioParams(seed=41))
+        log = EventLog()
+        ex = sc.make_executor(
+            "scan",
+            capacity=1e9,
+            memory_budget=1 << 30,
+            event_log=log,
+            faults="tuning",
+            fault_seed=2,
+        )
+        stats = ex.run(60, sc.make_generator())
+        assert stats.faults_injected == len(log.events("fault"))
+        assert stats.faults_injected > 0

@@ -1,6 +1,10 @@
 """Tests for parallel experiment execution."""
 
+import pickle
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.experiments.parallel import (
     RunSpec,
@@ -61,6 +65,68 @@ class TestExecution:
         specs = [spec(seed=s) for s in (5, 6, 7)]
         outcomes = run_parallel(specs, workers=3)
         assert [o.spec.params.seed for o in outcomes] == [5, 6, 7]
+
+
+class TestFaultedDeterminism:
+    """Acceptance: identical (scenario seed, fault seed) pairs yield
+    byte-identical RunStats and event logs across serial and pool paths."""
+
+    def faulted_spec(self, scheme, *, seed=3, fault_seed=9, ticks=30):
+        return RunSpec(
+            ScenarioParams(seed=seed),  # default (tight) capacity and budget
+            scheme,
+            ticks,
+            train=False,
+            faults="chaos",
+            fault_seed=fault_seed,
+            degrade=True,
+        )
+
+    def test_pool_matches_serial_byte_identical(self):
+        specs = [self.faulted_spec(s) for s in ("amri:sria", "scan", "hash:2")]
+        serial = run_parallel(specs, workers=0)
+        pooled = run_parallel(specs, workers=3)
+        for a, b in zip(serial, pooled):
+            assert a.stats == b.stats
+            assert a.events == b.events
+            assert pickle.dumps(a.stats) == pickle.dumps(b.stats)
+            assert pickle.dumps(a.events) == pickle.dumps(b.events)
+
+    def test_faulted_runs_record_their_faults(self):
+        outcome = execute_spec(self.faulted_spec("scan"))
+        assert outcome.stats.faults_injected > 0
+        assert any(e.kind == "fault" for e in outcome.events)
+
+    def test_fault_seed_changes_the_run(self):
+        a = execute_spec(self.faulted_spec("scan", fault_seed=1, ticks=60))
+        b = execute_spec(self.faulted_spec("scan", fault_seed=2, ticks=60))
+        assert a.events != b.events
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        fault_seed=st.integers(0, 500),
+        faults=st.sampled_from([None, "arrivals", "memory", "chaos"]),
+    )
+    def test_property_workers4_equals_workers0(self, seed, fault_seed, faults):
+        specs = [
+            RunSpec(
+                ScenarioParams(seed=seed),
+                scheme,
+                20,
+                train=False,
+                faults=faults,
+                fault_seed=fault_seed,
+                degrade=True,
+            )
+            for scheme in ("amri:sria", "scan")
+        ]
+        serial = run_parallel(specs, workers=0)
+        pooled = run_parallel(specs, workers=4)
+        for a, b in zip(serial, pooled):
+            assert a.spec == b.spec
+            assert a.stats == b.stats
+            assert a.events == b.events
 
 
 class TestCompareParallel:

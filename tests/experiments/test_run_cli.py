@@ -57,6 +57,41 @@ class TestCLI:
         assert rc == 0
         assert "sensor scenario" in capsys.readouterr().out
 
+    def test_fault_injection_flags(self, tmp_path, capsys):
+        rc = run_cli.main(
+            [
+                "--schemes",
+                "scan",
+                "--ticks",
+                "30",
+                "--no-train",
+                "--faults",
+                "chaos",
+                "--fault-seed",
+                "2",
+                "--degrade",
+                "--csv",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault timeline (chaos, fault seed 2)" in out
+        assert "fault" in out
+        events = tmp_path / "paper_events.csv"
+        assert events.exists()
+        with events.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert any(r["kind"] == "fault" for r in rows)
+        summary = tmp_path / "paper_summary.csv"
+        with summary.open() as fh:
+            srows = list(csv.DictReader(fh))
+        assert int(srows[0]["faults_injected"]) > 0
+
+    def test_faults_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            run_cli.main(["--schemes", "scan", "--ticks", "5", "--faults", "mayhem"])
+
 
 class TestTrainedPath:
     def test_trained_run_via_cli(self, capsys):
