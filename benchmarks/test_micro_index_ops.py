@@ -4,6 +4,13 @@ These are true pytest-benchmark timings (many rounds) of the hot paths —
 insert, probe by access-pattern width, migration, assessment recording —
 for each index scheme.  They back the paper's qualitative maintenance-cost
 claims at the Python level and guard against performance regressions.
+
+Besides wall-clock stats, each index benchmark records the operation's
+**virtual-clock cost units** as ``extra_info["cost_units"]`` in the
+``--benchmark-json`` export.  Cost units are deterministic (they count
+model operations, not time), so CI can compare them against the committed
+``BENCH_micro.json`` within a tight tolerance without the noise that makes
+wall-clock gating flaky — see ``tools/check_bench_regression.py``.
 """
 
 import pytest
@@ -14,11 +21,13 @@ from repro.core.bit_index import make_bit_index
 from repro.core.cost_model import WorkloadStatistics
 from repro.core.index_config import IndexConfiguration
 from repro.core.selector import select_exhaustive
+from repro.indexes.base import CostParams
 from repro.indexes.hash_index import MultiHashIndex
 from repro.indexes.scan_index import ScanIndex
 
 JAS = JoinAttributeSet(["A", "B", "C"])
 N_ITEMS = 2_000
+COST_PARAMS = CostParams()
 
 
 def make_items(n=N_ITEMS):
@@ -38,6 +47,23 @@ def fresh_hash_index(k=3):
     return MultiHashIndex(JAS, patterns)
 
 
+def record_cost_units(benchmark, fn):
+    """Attach the operation's deterministic cost units to the JSON export.
+
+    ``fn`` replays the benchmarked operation once on *fresh* state and
+    returns the accountant cost it accrued — independent of how many
+    timing rounds ran, so the recorded value is exactly reproducible.
+    """
+    benchmark.extra_info["cost_units"] = round(fn(), 6)
+
+
+def probe_cost(idx, ap, values):
+    """Marginal cost units of one extra probe (search state is unchanged)."""
+    before = idx.accountant.snapshot()
+    idx.search(ap, values)
+    return idx.accountant.cost_since(before, COST_PARAMS)
+
+
 # --------------------------------------------------------------------- #
 # maintenance
 
@@ -53,6 +79,7 @@ def test_bit_index_insert(benchmark):
 
     idx = benchmark(build)
     assert idx.size == N_ITEMS
+    record_cost_units(benchmark, lambda: build().accountant.cost(COST_PARAMS))
 
 
 def test_multi_hash_insert(benchmark):
@@ -66,6 +93,7 @@ def test_multi_hash_insert(benchmark):
 
     idx = benchmark(build)
     assert idx.size == N_ITEMS
+    record_cost_units(benchmark, lambda: build().accountant.cost(COST_PARAMS))
 
 
 def test_bit_index_expiry(benchmark):
@@ -81,6 +109,7 @@ def test_bit_index_expiry(benchmark):
 
     idx = benchmark(cycle)
     assert idx.size == 0 and idx.memory_bytes == 0
+    record_cost_units(benchmark, lambda: cycle().accountant.cost(COST_PARAMS))
 
 
 # --------------------------------------------------------------------- #
@@ -97,6 +126,7 @@ def test_bit_index_probe(benchmark, n_attrs):
 
     out = benchmark(lambda: idx.search(ap, values))
     assert out.tuples_examined <= idx.size
+    record_cost_units(benchmark, lambda: probe_cost(idx, ap, values))
 
 
 @pytest.mark.parametrize("n_attrs", [1, 2, 3])
@@ -109,6 +139,7 @@ def test_multi_hash_probe(benchmark, n_attrs):
 
     out = benchmark(lambda: idx.search(ap, values))
     assert out.tuples_examined <= idx.size
+    record_cost_units(benchmark, lambda: probe_cost(idx, ap, values))
 
 
 def test_scan_probe(benchmark):
@@ -119,6 +150,7 @@ def test_scan_probe(benchmark):
 
     out = benchmark(lambda: idx.search(ap, {"A": 5}))
     assert out.tuples_examined == idx.size
+    record_cost_units(benchmark, lambda: probe_cost(idx, ap, {"A": 5}))
 
 
 # --------------------------------------------------------------------- #
@@ -142,6 +174,16 @@ def test_bit_index_migration(benchmark):
     report = benchmark(migrate)
     assert report.tuples_moved == N_ITEMS
 
+    def one_migration():
+        fresh = fresh_bit_index()
+        for item in items:
+            fresh.insert(item)
+        before = fresh.accountant.snapshot()
+        fresh.reconfigure(target_a)
+        return fresh.accountant.cost_since(before, COST_PARAMS)
+
+    record_cost_units(benchmark, one_migration)
+
 
 def test_multi_hash_retune(benchmark):
     idx = fresh_hash_index()
@@ -157,6 +199,16 @@ def test_multi_hash_retune(benchmark):
 
     benchmark(retune)
     assert idx.module_count == 1
+
+    def one_retune():
+        fresh = fresh_hash_index()
+        for item in make_items():
+            fresh.insert(item)
+        before = fresh.accountant.snapshot()
+        fresh.set_patterns(set_a)
+        return fresh.accountant.cost_since(before, COST_PARAMS)
+
+    record_cost_units(benchmark, one_retune)
 
 
 # --------------------------------------------------------------------- #

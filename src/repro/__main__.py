@@ -1,4 +1,12 @@
-"""``python -m repro`` — package banner and entry-point directory."""
+"""``python -m repro`` — package banner and subcommand dispatch.
+
+Subcommands delegate to the experiment entry points and propagate their
+exit codes: ``0`` on success, ``1`` on a failed run, ``2`` for usage
+errors (unknown subcommand, bad flags) — so shell pipelines and CI can
+rely on ``$?`` instead of scraping output.
+"""
+
+from __future__ import annotations
 
 import sys
 
@@ -7,23 +15,50 @@ from repro import __version__
 BANNER = f"""repro {__version__} — AMRI: Index Tuning for Adaptive Multi-Route Data Stream Systems
 (reproduction of Works, Rundensteiner, Agu; IPPS 2010)
 
-entry points:
-  python -m repro.experiments.figures <fig6|fig6-hash|fig7|table2|all>
-      regenerate the paper's figures/tables (ASCII series)
-  python -m repro.experiments.run --schemes amri:cdia-highest,static --csv out/
-      run any scheme comparison, export CSV
-  examples/quickstart.py | package_tracking.py | stock_monitoring.py |
-  sensor_network.py | assessment_comparison.py | diagnostics_tour.py
+subcommands (python -m repro <cmd> --help for flags):
+  profile   per-component cost-unit profile of one run (--metrics/--trace export)
+  run       scheme comparison with CSV/metrics export
+            (also: python -m repro.experiments.run --schemes amri:cdia-highest,static)
+  figures   regenerate the paper's figures/tables <fig6|fig6-hash|fig7|table2|all>
 
+examples:    examples/quickstart.py | package_tracking.py | stock_monitoring.py |
+             sensor_network.py | assessment_comparison.py | diagnostics_tour.py
 tests:       pytest tests/
 benchmarks:  pytest benchmarks/ --benchmark-only
-docs:        README.md, DESIGN.md, EXPERIMENTS.md
+docs:        README.md, DESIGN.md, EXPERIMENTS.md, docs/observability.md
 """
 
+#: subcommand -> dotted module exposing ``main(argv) -> int``
+COMMANDS = {
+    "profile": "repro.experiments.profiling",
+    "run": "repro.experiments.run",
+    "figures": "repro.experiments.figures",
+}
 
-def main() -> int:
-    print(BANNER)
-    return 0
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(BANNER)
+        return 0
+    command, rest = argv[0], argv[1:]
+    module_name = COMMANDS.get(command)
+    if module_name is None:
+        print(
+            f"unknown subcommand {command!r}; expected one of {sorted(COMMANDS)}",
+            file=sys.stderr,
+        )
+        return 2
+    import importlib
+
+    entry = importlib.import_module(module_name).main
+    try:
+        return int(entry(rest))
+    except SystemExit as exc:  # argparse --help / usage errors keep their code
+        return int(exc.code or 0)
+    except Exception as exc:
+        print(f"{command} failed: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

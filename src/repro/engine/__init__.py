@@ -17,6 +17,13 @@ from repro.engine.faults import (
     InvariantViolation,
     resolve_fault_plan,
 )
+from repro.engine.metrics import (
+    FlightRecorder,
+    MetricsRegistry,
+    RegistrySnapshot,
+    Span,
+    SpanRecord,
+)
 from repro.engine.multi_query import MultiQueryExecutor, QuerySet
 from repro.engine.parser import QueryParseError, parse_query
 from repro.engine.query import JoinPredicate, Query
@@ -58,6 +65,11 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "resolve_fault_plan",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "Span",
+    "SpanRecord",
     "ContentBasedRouter",
     "FixedRouter",
     "GreedyAdaptiveRouter",

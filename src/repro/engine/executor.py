@@ -21,14 +21,25 @@ All index work is charged through the per-state accountants, so different
 index schemes consume the same capacity at different rates — slower schemes
 build backlog, produce fewer outputs per tick, and eventually die of
 memory, which is exactly the behaviour Section V reports.
+
+Observability: every virtual-clock charge flows through :meth:`_spend`,
+which attributes the *same float* to a labelled series on the attached
+:class:`~repro.engine.metrics.MetricsRegistry` ``(component, stream,
+index_kind, phase)`` immediately after spending it — so the attributed
+grand total equals ``meter.total_spent`` bit-for-bit.  Tuple lifecycles,
+ticks, and tuning rounds become spans in the registry's flight recorder.
+With no registry attached every metrics hook is a no-op and the run is
+byte-identical (asserted by the differential suites).
 """
 
 from __future__ import annotations
 
+import re
 from collections import deque
 from dataclasses import dataclass
 
 from repro.core.tuner import TuningContext
+from repro.engine.metrics import MetricsRegistry, Span
 from repro.engine.query import Query
 from repro.engine.resources import (
     DegradationPolicy,
@@ -41,6 +52,23 @@ from repro.engine.stats import RunStats, SelectivityEstimator
 from repro.engine.stem import SteM
 from repro.engine.tuples import JoinedTuple, StreamTuple
 from repro.utils.validation import check_positive
+
+#: Histogram boundaries for per-tick cost (cost units; capacity ~1e4-2e4).
+TICK_COST_BUCKETS = (100.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0)
+
+#: Histogram boundaries for per-probe match counts.
+MATCH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def index_kind_label(index: object) -> str:
+    """A stable ``index_kind`` label: snake-cased class name sans ``Index``.
+
+    ``BitAddressIndex → bit_address``, ``MultiHashIndex → multi_hash``,
+    ``ScanIndex → scan`` — derived, so extension indexes label themselves.
+    """
+    name = type(index).__name__
+    name = name.removesuffix("Index") or name
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
 
 
 @dataclass
@@ -76,6 +104,10 @@ class AMRExecutor:
     domain_bits:
         ``attribute -> value entropy`` handed to the cost model at tuning
         time.
+    metrics:
+        Optional :class:`~repro.engine.metrics.MetricsRegistry`.  When
+        absent (the default) every instrumentation hook is a no-op and the
+        run is byte-identical to an uninstrumented one.
     """
 
     def __init__(
@@ -93,6 +125,7 @@ class AMRExecutor:
         fault_injector=None,
         invariant_checker=None,
         degradation: DegradationPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         missing = set(query.stream_names) - set(stems)
         if missing:
@@ -112,15 +145,67 @@ class AMRExecutor:
         self.fault_injector = fault_injector  # repro.engine.faults.FaultInjector or None
         self.invariant_checker = invariant_checker  # repro.engine.faults.InvariantChecker or None
         self.degradation = degradation  # DegradationPolicy or None (die on breach)
+        self.metrics = metrics  # MetricsRegistry or None (hooks are no-ops)
         self._queue: deque[StreamTuple] = deque()
         self._n_streams = len(query.stream_names)
+        # Metrics-only state: open tuple-lifecycle spans keyed by tuple
+        # identity, and the last sampled clock reading (per-tick cost).
+        self._live_spans: dict[int, Span] = {}
+        self._spent_at_tick_start = 0.0
 
     # ------------------------------------------------------------------ #
     # cost plumbing
 
+    def _spend(
+        self,
+        cost: float,
+        component: str,
+        *,
+        stream: str | None = None,
+        index_kind: str | None = None,
+        phase: str | None = None,
+    ) -> None:
+        """Charge the virtual clock and attribute the identical float.
+
+        Every executor charge goes through here: the meter and the metrics
+        registry see the same value in the same order, which is what makes
+        the attributed total equal ``meter.total_spent`` exactly.
+        """
+        self.meter.spend(cost)
+        if self.metrics is not None:
+            self.metrics.charge(
+                cost, component, stream=stream, index_kind=index_kind, phase=phase
+            )
+
+    def _stem_cost(self, stem: SteM) -> float:
+        return stem.index.accountant.cost(self.meter.params)
+
     def _total_index_cost(self) -> float:
-        params = self.meter.params
-        return sum(stem.index.accountant.cost(params) for stem in self.stems.values())
+        return sum(self._stem_cost(stem) for stem in self.stems.values())
+
+    def _stem_costs(self) -> dict[str, float]:
+        """Current accumulated index cost per state (attribution snapshot)."""
+        return {name: self._stem_cost(stem) for name, stem in self.stems.items()}
+
+    def _spend_index_deltas(
+        self, before: dict[str, float], *, component: str, phase: str
+    ) -> None:
+        """Charge each state's marginal index cost since ``before``.
+
+        The aggregate spent equals the per-state deltas by construction, so
+        nothing leaks; zero deltas are skipped (no series churn, and adding
+        0.0 would not move the clock anyway).
+        """
+        for name, stem in self.stems.items():
+            delta = self._stem_cost(stem) - before[name]
+            if delta:
+                self._spend(
+                    delta,
+                    component,
+                    stream=name,
+                    index_kind=index_kind_label(stem.index),
+                    phase=phase,
+                )
 
     def _memory_breakdown(self) -> MemoryBreakdown:
         params = self.meter.params
@@ -159,21 +244,45 @@ class AMRExecutor:
         Returns False when a selection predicate filtered the tuple out
         (predicate pushdown): it enters neither the state nor the queue.
         """
+        m = self.metrics
         filters = self.query.filters_for(item.stream)
         if filters:
-            self.meter.spend(len(filters) * self.meter.params.c_compare)
+            self._spend(
+                len(filters) * self.meter.params.c_compare,
+                "filter",
+                stream=item.stream,
+                phase="admit",
+            )
             if not self.query.passes_filters(item.stream, item):
                 self.stats.filtered += 1
+                if m is not None:
+                    m.counter(
+                        "tuples_filtered_total",
+                        "arrivals dropped by predicate pushdown",
+                        stream=item.stream,
+                    ).inc()
                 return False
-        cost_before = self._total_index_cost()
-        self.stems[item.stream].insert(item, item.arrived_at)
+        stem = self.stems[item.stream]
+        cost_before = self._stem_cost(stem)
+        stem.insert(item, item.arrived_at)
         self.stats.source_tuples += 1
-        self.meter.spend(self._total_index_cost() - cost_before)
+        self._spend(
+            self._stem_cost(stem) - cost_before,
+            "index",
+            stream=item.stream,
+            index_kind=index_kind_label(stem.index),
+            phase="insert",
+        )
+        if m is not None:
+            m.counter(
+                "tuples_admitted_total", "source tuples admitted", stream=item.stream
+            ).inc()
         return True
 
-    def _process_tuple(self, item: StreamTuple) -> None:
+    def _process_tuple(self, item: StreamTuple, tick: int) -> None:
         params = self.meter.params
-        cost_before = self._total_index_cost()
+        m = self.metrics
+        cost_before = self._stem_costs()
         route = self.router.choose_route(item.stream, self.estimator, item)
         outputs = 0
         partials: list[JoinedTuple] = [JoinedTuple.of(item)]
@@ -194,7 +303,7 @@ class AMRExecutor:
                 # so each join result is produced exactly once — by its
                 # youngest member's probe sequence.
                 matches = [
-                    m for m in outcome.matches if (m.arrived_at, m.stream) < anchor
+                    m2 for m2 in outcome.matches if (m2.arrived_at, m2.stream) < anchor
                 ]
                 self.stats.matches += len(matches)
                 self.estimator.observe(target, ap.mask, len(matches))
@@ -202,6 +311,30 @@ class AMRExecutor:
                 if observe_content is not None:
                     bucket = self.router.bucket_for(item, item.stream, target)
                     observe_content(target, ap.mask, bucket, len(matches))
+                if m is not None:
+                    m.counter(
+                        "probes_total",
+                        "search requests executed",
+                        stream=target,
+                        index_kind=index_kind_label(stem.index),
+                    ).inc()
+                    m.counter(
+                        "matches_total", "probe matches after ordering", stream=target
+                    ).inc(len(matches))
+                    m.histogram(
+                        "probe_matches",
+                        "matches per probe",
+                        buckets=MATCH_BUCKETS,
+                        stream=target,
+                    ).observe(len(matches))
+                    assessor = getattr(stem.tuner, "assessor", None)
+                    if assessor is not None:
+                        m.counter(
+                            "assessment_records_total",
+                            "access patterns recorded by assessors",
+                            stream=target,
+                            method=type(assessor).__name__,
+                        ).inc()
                 for match in matches:
                     next_partials.append(partial.extend(match))
                     if len(next_partials) >= self.config.max_fanout:
@@ -216,19 +349,28 @@ class AMRExecutor:
             if self.output_sink is not None:
                 self.output_sink(partials)
 
-        index_cost = self._total_index_cost() - cost_before
-        self.meter.spend(index_cost + params.c_route + outputs * params.c_output)
+        self._spend_index_deltas(cost_before, component="index", phase="probe")
+        self._spend(params.c_route, "router", stream=item.stream, phase="decide")
+        self._spend(outputs * params.c_output, "output", stream=item.stream, phase="emit")
+        if m is not None:
+            m.counter("outputs_total", "join results emitted").inc(outputs)
+            m.histogram(
+                "route_length", "probe hops per routed tuple", stream=item.stream
+            ).observe(len(route))
+            span = self._live_spans.pop(id(item), None)
+            if span is not None:
+                m.end_span(span, tick, status="processed", outputs=outputs)
 
     # ------------------------------------------------------------------ #
     # tick phases
 
     def _expire_all(self, now: int) -> None:
-        cost_before = self._total_index_cost()
+        cost_before = self._stem_costs()
         for stem in self.stems.values():
             stem.expire(now)
-        self.meter.spend(self._total_index_cost() - cost_before)
+        self._spend_index_deltas(cost_before, component="index", phase="expire")
 
-    def _tune_stem(self, stem: SteM, tick: int, *, forced: bool = False) -> None:
+    def _tune_stem(self, stem: SteM, tick: int, *, forced: bool = False):
         """One state's tuning round, with stats and event bookkeeping."""
         context = TuningContext(
             lambda_d=self.arrival_rates.get(stem.stream, 1.0),
@@ -241,6 +383,10 @@ class AMRExecutor:
             self.stats.tuning_rounds += 1
             if report.migrated:
                 self.stats.migrations += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "migrations_total", "index migrations applied", stream=stem.stream
+                    ).inc()
             if self.event_log is not None:
                 kind = "migration" if report.migrated else "tune"
                 saving = report.projected_saving
@@ -254,12 +400,53 @@ class AMRExecutor:
                 if forced:
                     detail["forced"] = True
                 self.event_log.record(tick, kind, stem.stream, **detail)
+        return report
+
+    def _tune_round(self, tick: int, streams=None, *, forced: bool = False) -> None:
+        """Tune the given states (default: all), attributing per state.
+
+        Each state's marginal tuning cost — assessment extraction,
+        selection, and any migration — is charged to the ``tuner``
+        component with phase ``migration`` or ``assess``; the round and its
+        per-state children become spans in the flight recorder.
+        """
+        m = self.metrics
+        stems = (
+            list(self.stems.values())
+            if streams is None
+            else [self.stems[s] for s in streams]
+        )
+        round_span = (
+            m.start_span("tuning_round", tick, forced=forced) if m is not None else None
+        )
+        for stem in stems:
+            before = self._stem_cost(stem)
+            kind = index_kind_label(stem.index)
+            report = self._tune_stem(stem, tick, forced=forced)
+            migrated = report is not None and report.migrated
+            delta = self._stem_cost(stem) - before
+            if delta:
+                self._spend(
+                    delta,
+                    "tuner",
+                    stream=stem.stream,
+                    index_kind=kind,
+                    phase="migration" if migrated else "assess",
+                )
+            if m is not None:
+                m.point_span(
+                    "tune",
+                    tick,
+                    round_span,
+                    stream=stem.stream,
+                    migrated=migrated,
+                    cost=delta,
+                )
+        if round_span is not None and m is not None:
+            m.end_span(round_span, tick)
 
     def _tune_all(self, tick: int = -1) -> None:
-        cost_before = self._total_index_cost()
-        for stem in self.stems.values():
-            self._tune_stem(stem, tick)
-        self.meter.spend(self._total_index_cost() - cost_before)
+        self._tune_round(tick)
 
     # ------------------------------------------------------------------ #
     # fault application and graceful degradation
@@ -276,10 +463,7 @@ class AMRExecutor:
                 assessor.record(ap)
         forced = injector.forced_migrations(tick)
         if forced:
-            cost_before = self._total_index_cost()
-            for stream in forced:
-                self._tune_stem(self.stems[stream], tick, forced=True)
-            self.meter.spend(self._total_index_cost() - cost_before)
+            self._tune_round(tick, forced, forced=True)
 
     def _shed_backlog(self, tick: int, breakdown: MemoryBreakdown, soft: int) -> MemoryBreakdown:
         """Drop backlogged requests oldest-first until under ``soft`` bytes."""
@@ -292,15 +476,24 @@ class AMRExecutor:
         n = min(sheddable, -(-excess // per))  # ceil division
         if n <= 0:
             return breakdown
+        m = self.metrics
         for _ in range(n):
-            self._queue.popleft()
+            item = self._queue.popleft()
+            if m is not None:
+                span = self._live_spans.pop(id(item), None)
+                if span is not None:
+                    m.end_span(span, tick, status="shed")
         self.stats.shed_tuples += n
+        if m is not None:
+            m.counter("shed_tuples_total", "backlogged requests shed").inc(n)
+            m.point_span("shed", tick, count=n, freed=n * per)
         if self.event_log is not None:
             self.event_log.record(tick, "shed", None, count=n, freed=n * per)
         return self._memory_breakdown()
 
     def _degrade_indexes(self, tick: int, breakdown: MemoryBreakdown, budget: int) -> MemoryBreakdown:
         """Fall heaviest-first from index structures to full scans."""
+        m = self.metrics
         by_weight = sorted(
             self.stems.values(), key=lambda s: s.index.memory_bytes, reverse=True
         )
@@ -310,16 +503,64 @@ class AMRExecutor:
             if stem.degraded or stem.index.memory_bytes <= 0:
                 continue
             freed = stem.index.memory_bytes
-            cost_before = self._total_index_cost()
+            cost_before = self._stem_cost(stem)
+            kind = index_kind_label(stem.index)
             moved = stem.degrade_to_scan()
-            self.meter.spend(self._total_index_cost() - cost_before)
+            self._spend(
+                self._stem_cost(stem) - cost_before,
+                "index",
+                stream=stem.stream,
+                index_kind=kind,
+                phase="degrade",
+            )
             self.stats.degradations += 1
+            if m is not None:
+                m.counter(
+                    "degradations_total", "states degraded to full scan", stream=stem.stream
+                ).inc()
+                m.point_span("degrade", tick, stream=stem.stream, freed=freed, moved=moved)
             if self.event_log is not None:
                 self.event_log.record(
                     tick, "degrade", stem.stream, to="scan", freed=freed, moved=moved
                 )
             breakdown = self._memory_breakdown()
         return breakdown
+
+    def _sample_metrics(self, tick: int, breakdown: MemoryBreakdown) -> None:
+        """Refresh sampled gauges (memory sections, backlog, index ops)."""
+        m = self.metrics
+        assert m is not None
+        m.gauge("backlog", "queued search requests").set(len(self._queue))
+        sections = {
+            "payload": breakdown.state_payload,
+            "index": breakdown.index_structures,
+            "backlog": breakdown.backlog,
+            "statistics": breakdown.statistics,
+        }
+        for section, used in sections.items():
+            m.gauge("memory_bytes", "tracked engine memory", section=section).set(used)
+        for name, stem in self.stems.items():
+            acct = stem.index.accountant
+            for op in (
+                "hashes",
+                "comparisons",
+                "buckets_visited",
+                "tuples_examined",
+                "inserts",
+                "deletes",
+                "moves",
+            ):
+                m.gauge(
+                    "index_ops", "cumulative accountant operations", stream=name, op=op
+                ).set(getattr(acct, op))
+            assessor = getattr(stem.tuner, "assessor", None)
+            if assessor is not None:
+                m.gauge(
+                    "assessment_entries",
+                    "statistics entries held",
+                    stream=name,
+                    method=type(assessor).__name__,
+                ).set(assessor.entry_count)
 
     def _audit_and_sample(self, tick: int) -> bool:
         """Memory audit with graceful degradation; True when the run died."""
@@ -335,11 +576,18 @@ class AMRExecutor:
             if policy.scan_fallback and breakdown.total > budget:
                 breakdown = self._degrade_indexes(tick, breakdown, budget)
         self.stats.sample(tick, self.meter.total_spent, breakdown.total, len(self._queue))
+        if self.metrics is not None:
+            self._sample_metrics(tick, breakdown)
         try:
             self.meter.check_memory(breakdown, tick, budget=budget)
         except MemoryBudgetExceeded as exc:
             self.stats.died_at = tick
             self.stats.death_reason = str(exc)
+            if self.metrics is not None:
+                self.metrics.counter("deaths_total", "out-of-memory deaths").inc()
+                self.metrics.point_span(
+                    "death", tick, used=exc.used, budget=exc.budget
+                )
             if self.event_log is not None:
                 self.event_log.record(
                     tick, "death", None, used=exc.used, budget=exc.budget
@@ -366,8 +614,16 @@ class AMRExecutor:
         check_positive("duration", duration)
         cfg = self.config
         injector = self.fault_injector
+        m = self.metrics
+        last_tick = 0
         for tick in range(duration):
+            last_tick = tick
             self.meter.start_tick()
+            tick_span: Span | None = None
+            if m is not None:
+                m.counter("engine_ticks_total", "ticks executed").inc()
+                self._spent_at_tick_start = self.meter.total_spent
+                tick_span = m.start_span("tick", tick)
             items = arrivals(tick)
             if injector is not None:
                 injector.begin_tick(tick, self.event_log)
@@ -375,18 +631,42 @@ class AMRExecutor:
             for item in items:
                 if self._admit_tuple(item):
                     self._queue.append(item)
+                    if m is not None:
+                        self._live_spans[id(item)] = m.start_span(
+                            "tuple", tick, tick_span, stream=item.stream
+                        )
             self._expire_all(tick)
             while self._queue and not self.meter.exhausted:
-                self._process_tuple(self._queue.popleft())
+                self._process_tuple(self._queue.popleft(), tick)
             if injector is not None:
                 self._apply_tuning_faults(tick)
             if tick >= cfg.tune_warmup and tick > 0 and tick % cfg.assess_interval == 0:
                 self._tune_all(tick)
+            died = False
             if tick % cfg.sample_interval == 0 or tick == duration - 1:
-                if self._audit_and_sample(tick):
-                    break
+                died = self._audit_and_sample(tick)
+            if m is not None and tick_span is not None:
+                tick_cost = self.meter.total_spent - self._spent_at_tick_start
+                m.histogram(
+                    "tick_cost_units",
+                    "cost units spent per tick",
+                    buckets=TICK_COST_BUCKETS,
+                ).observe(tick_cost)
+                m.end_span(
+                    tick_span, tick, cost=round(tick_cost, 3), backlog=len(self._queue)
+                )
+            if died:
+                break
             if self.invariant_checker is not None:
                 self.invariant_checker.check(self, tick)
+        if m is not None:
+            # Close any still-open tuple spans (backlog at end of run or
+            # at death) so the flight recorder's last ticks reconstruct.
+            for item in self._queue:
+                span = self._live_spans.pop(id(item), None)
+                if span is not None:
+                    m.end_span(span, last_tick, status="backlog")
+            self._live_spans.clear()
         if injector is not None:
             self.stats.faults_injected = injector.injected
         return self.stats

@@ -16,6 +16,8 @@ typos in event kinds should fail loudly, not silently fragment the log.
 
 from __future__ import annotations
 
+import threading
+from collections import Counter
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 
@@ -23,17 +25,21 @@ from dataclasses import dataclass, field
 EVENT_KINDS = ("tune", "migration", "death", "fault", "degrade", "shed")
 
 _REGISTERED_KINDS: set[str] = set(EVENT_KINDS)
+_KINDS_LOCK = threading.Lock()
 
 
 def register_event_kind(kind: str) -> str:
-    """Register a new event kind; returns it (idempotent).
+    """Register a new event kind; returns it (idempotent and thread-safe).
 
     Extensions call this once at import time so their events pass the
-    :class:`EngineEvent` validity check.
+    :class:`EngineEvent` validity check.  Registration may happen from
+    several import threads at once (e.g. a process pool warming up
+    plugins), so the registry mutates under a lock.
     """
     if not kind or not kind.replace("-", "_").isidentifier():
         raise ValueError(f"event kind must be a short identifier, got {kind!r}")
-    _REGISTERED_KINDS.add(kind)
+    with _KINDS_LOCK:
+        _REGISTERED_KINDS.add(kind)
     return kind
 
 
@@ -93,22 +99,34 @@ class EventLog:
 
     def counts_by_kind(self) -> dict[str, int]:
         """How many events of each kind the run produced."""
-        counts: dict[str, int] = {}
-        for e in self._events:
-            counts[e.kind] = counts.get(e.kind, 0) + 1
-        return counts
+        return dict(Counter(e.kind for e in self._events))
 
     def migrations_by_stream(self) -> dict[str, int]:
         """Migration counts per state — where the tuner is working hardest."""
-        counts: dict[str, int] = {}
-        for e in self._events:
-            if e.kind == "migration" and e.stream is not None:
-                counts[e.stream] = counts.get(e.stream, 0) + 1
-        return counts
+        return dict(
+            Counter(
+                e.stream
+                for e in self._events
+                if e.kind == "migration" and e.stream is not None
+            )
+        )
 
     def to_lines(self) -> list[str]:
         """Human-readable one-liners, in recording order."""
         return [str(e) for e in self._events]
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Plain-dict records, shaped for the shared metrics export path."""
+        from repro.engine.metrics_export import event_records
+
+        return event_records(self._events)
+
+    def to_jsonl(self) -> str:
+        """The log as JSONL — same pipeline metrics snapshots export through."""
+        from repro.engine.metrics_export import to_jsonl_lines
+
+        lines = to_jsonl_lines(self.to_records())
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def __len__(self) -> int:
         return len(self._events)

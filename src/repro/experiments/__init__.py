@@ -7,8 +7,11 @@ from repro.experiments.harness import (
     train_initial_state,
 )
 from repro.experiments.parallel import RunOutcome, RunSpec, compare_parallel, run_parallel
+from repro.experiments.profiling import profile_scheme
 from repro.experiments.sweeps import SweepPoint, format_sweep, grid_points, run_sweep
 from repro.experiments.reporting import (
+    format_component_breakdown,
+    format_cost_profile,
     format_summary,
     format_table,
     format_throughput_figure,
@@ -16,6 +19,9 @@ from repro.experiments.reporting import (
 )
 
 __all__ = [
+    "format_component_breakdown",
+    "format_cost_profile",
+    "profile_scheme",
     "RunOutcome",
     "RunSpec",
     "SweepPoint",

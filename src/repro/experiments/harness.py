@@ -108,8 +108,10 @@ def run_scheme(
     Robustness knobs pass straight through ``executor_overrides`` to
     :meth:`~repro.workloads.scenarios.PaperScenario.make_executor`:
     ``faults=`` / ``fault_seed=`` for deterministic fault injection,
-    ``degradation=`` for graceful degradation under memory pressure, and
-    ``event_log=`` to capture the run's fault/degrade/shed timeline.
+    ``degradation=`` for graceful degradation under memory pressure,
+    ``event_log=`` to capture the run's fault/degrade/shed timeline, and
+    ``metrics=`` (a :class:`~repro.engine.metrics.MetricsRegistry`) for
+    cost-unit attribution and span tracing.
     """
     initial_configs = training.configs if training is not None else None
     initial_hash = None

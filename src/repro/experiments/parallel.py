@@ -21,6 +21,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.engine.metrics import MetricsRegistry, RegistrySnapshot
 from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
@@ -37,7 +38,10 @@ class RunSpec:
     specs stay hashable and cheap to pickle); ``fault_seed`` seeds its
     deterministic injector.  ``degrade=True`` attaches the default
     :class:`~repro.engine.resources.DegradationPolicy` so memory pressure
-    sheds and degrades instead of killing the run.
+    sheds and degrades instead of killing the run.  ``collect_metrics=True``
+    attaches a :class:`~repro.engine.metrics.MetricsRegistry` and ships its
+    frozen snapshot back on the outcome (metrics are observer-effect-free,
+    so the stats are identical either way).
     """
 
     params: ScenarioParams
@@ -50,6 +54,7 @@ class RunSpec:
     faults: str | None = None
     fault_seed: int = 0
     degrade: bool = False
+    collect_metrics: bool = False
 
     def display_label(self) -> str:
         """The spec's name in result listings."""
@@ -58,11 +63,18 @@ class RunSpec:
 
 @dataclass
 class RunOutcome:
-    """A spec together with its run statistics and event timeline."""
+    """A spec together with its statistics, events, and metrics payload.
+
+    ``metrics`` is a frozen :class:`~repro.engine.metrics.RegistrySnapshot`
+    when the spec asked for one (``collect_metrics=True``) — picklable, so
+    it crosses the process-pool boundary like everything else — letting
+    figures break a run's throughput down by component after the fact.
+    """
 
     spec: RunSpec
     stats: RunStats
     events: tuple[EngineEvent, ...] = ()
+    metrics: RegistrySnapshot | None = None
 
     @property
     def outputs(self) -> int:
@@ -76,6 +88,7 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         train_initial_state(scenario, train_ticks=spec.train_ticks) if spec.train else None
     )
     log = EventLog()
+    registry = MetricsRegistry() if spec.collect_metrics else None
     stats = run_scheme(
         scenario,
         spec.scheme,
@@ -86,8 +99,14 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         faults=spec.faults,
         fault_seed=spec.fault_seed,
         degradation=DegradationPolicy() if spec.degrade else None,
+        metrics=registry,
     )
-    return RunOutcome(spec=spec, stats=stats, events=tuple(log))
+    return RunOutcome(
+        spec=spec,
+        stats=stats,
+        events=tuple(log),
+        metrics=registry.snapshot() if registry is not None else None,
+    )
 
 
 def run_parallel(specs: list[RunSpec], *, workers: int = 4) -> list[RunOutcome]:

@@ -11,6 +11,13 @@ schedule (``--fault-seed`` varies it independently of the workload seed),
 ``--degrade`` enables graceful degradation instead of OOM death, and the
 report gains a per-scheme fault/shed/degrade/death timeline (also exported
 as ``<scenario>_events.csv`` with ``--csv``).
+
+Observability flags: ``--metrics DIR`` attaches a metrics registry to every
+scheme, prints a cross-scheme cost breakdown by component, and writes one
+``<scenario>_<scheme>_metrics.jsonl`` snapshot per scheme; ``--trace DIR``
+additionally writes each scheme's flight-recorder spans as
+``<scenario>_<scheme>_trace.jsonl``.  Metrics are observer-effect-free:
+the run results are byte-identical with the flags on or off.
 """
 
 from __future__ import annotations
@@ -21,11 +28,14 @@ import sys
 from pathlib import Path
 
 from repro.engine.faults import FAULT_PROFILES
+from repro.engine.metrics import MetricsRegistry, RegistrySnapshot
+from repro.engine.metrics_export import write_metrics, write_trace
 from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
 from repro.experiments.harness import run_scheme, train_initial_state
 from repro.experiments.reporting import (
+    format_component_breakdown,
     format_fault_timeline,
     format_table,
     format_throughput_figure,
@@ -124,6 +134,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="shed backlog / fall back to scan under memory pressure instead of dying",
     )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help="directory for per-scheme metrics snapshots (JSONL) + breakdown report",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="directory for per-scheme flight-recorder span exports (JSONL)",
+    )
     args = parser.parse_args(argv)
 
     scenario = build_scenario(args.scenario, args.seed)
@@ -133,10 +155,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     faults = None if args.faults == "none" else args.faults
     degradation = DegradationPolicy() if args.degrade else None
+    want_metrics = args.metrics is not None or args.trace is not None
     runs: dict[str, RunStats] = {}
     events: dict[str, list[EngineEvent]] = {}
+    snapshots: dict[str, RegistrySnapshot] = {}
     for scheme in schemes:
         log = EventLog()
+        registry = MetricsRegistry() if want_metrics else None
         runs[scheme] = run_scheme(
             scenario,
             scheme,
@@ -146,8 +171,11 @@ def main(argv: list[str] | None = None) -> int:
             faults=faults,
             fault_seed=args.fault_seed,
             degradation=degradation,
+            metrics=registry,
         )
         events[scheme] = list(log)
+        if registry is not None:
+            snapshots[scheme] = registry.snapshot()
 
     print(format_throughput_figure(f"{args.scenario} scenario, {args.ticks} ticks", runs))
     rows = [
@@ -163,6 +191,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(format_fault_timeline(title, events))
 
+    if snapshots:
+        print()
+        print(format_component_breakdown("cost units by component", snapshots))
+
     if args.csv is not None:
         args.csv.mkdir(parents=True, exist_ok=True)
         for name, stats in runs.items():
@@ -171,6 +203,16 @@ def main(argv: list[str] | None = None) -> int:
         write_summary_csv(args.csv / f"{args.scenario}_summary.csv", runs)
         write_events_csv(args.csv / f"{args.scenario}_events.csv", events)
         print(f"\nCSV written to {args.csv}/")
+    if args.metrics is not None:
+        for name, snap in snapshots.items():
+            safe = name.replace(":", "_")
+            write_metrics(args.metrics / f"{args.scenario}_{safe}_metrics.jsonl", snap)
+        print(f"metrics written to {args.metrics}/")
+    if args.trace is not None:
+        for name, snap in snapshots.items():
+            safe = name.replace(":", "_")
+            write_trace(args.trace / f"{args.scenario}_{safe}_trace.jsonl", snap)
+        print(f"traces written to {args.trace}/")
     return 0
 
 

@@ -31,6 +31,7 @@ from repro.core.selector import IndexSelector, select_hash_patterns
 from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner
 from repro.engine.executor import AMRExecutor, ExecutorConfig
 from repro.engine.faults import FaultInjector, FaultPlan, resolve_fault_plan
+from repro.engine.metrics import MetricsRegistry
 from repro.engine.query import JoinPredicate, Query
 from repro.engine.resources import DegradationPolicy, ResourceMeter
 from repro.engine.router import (
@@ -268,6 +269,7 @@ class PaperScenario:
         fault_seed: int = 0,
         invariant_checker=None,
         degradation: DegradationPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> AMRExecutor:
         """A ready-to-run executor for the named scheme.
 
@@ -276,6 +278,10 @@ class PaperScenario:
         deterministic :class:`~repro.engine.faults.FaultInjector` seeded
         with ``fault_seed`` — independent of the scenario seed, so the same
         workload can be stressed with many fault schedules and vice versa.
+
+        ``metrics`` attaches a :class:`~repro.engine.metrics.MetricsRegistry`
+        for cost-unit attribution and span tracing; omitted, every
+        instrumentation hook is a no-op (observer-effect-free).
         """
         p = self.params
         stems = self.build_stems(
@@ -313,6 +319,7 @@ class PaperScenario:
             fault_injector=injector,
             invariant_checker=invariant_checker,
             degradation=degradation,
+            metrics=metrics,
         )
 
 

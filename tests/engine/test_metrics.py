@@ -1,0 +1,276 @@
+"""Tests for the metrics registry, spans, flight recorder, and exporters."""
+
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.engine.metrics import (
+    COST_METRIC,
+    Counter,
+    FlightRecorder,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanRecord,
+    cost_label_key,
+)
+from repro.engine.metrics_export import (
+    from_csv,
+    from_jsonl,
+    to_csv,
+    to_jsonl,
+    to_prometheus,
+    write_metrics,
+    write_trace,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+    def test_histogram_le_semantics(self):
+        h = Histogram(boundaries=(1.0, 4.0))
+        for v in (0.5, 1.0, 2.0, 4.0, 100.0):
+            h.observe(v)
+        # le semantics: 1.0 lands in the le=1 bucket, 4.0 in le=4.
+        assert h.bucket_counts == [2, 2, 1]
+        cum = h.cumulative()
+        assert cum == [(1.0, 2), (4.0, 4), (float("inf"), 5)]
+        assert h.total == pytest.approx(107.5)
+        assert h.count == 5
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(4.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0))
+
+
+class TestRegistrySeries:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        a = reg.counter("probes_total", stream="A")
+        b = reg.counter("probes_total", stream="A")
+        assert a is b
+        assert reg.counter("probes_total", stream="B") is not a
+        assert len(reg) == 2
+
+    def test_label_canonicalisation(self):
+        reg = MetricsRegistry()
+        # Order of keyword labels never matters; None labels are dropped.
+        a = reg.counter("x", stream="A", phase="probe")
+        b = reg.counter("x", phase="probe", stream="A")
+        c = reg.counter("x", stream="A", phase="probe", index_kind=None)
+        assert a is b is c
+        assert cost_label_key("index", stream="A") == (
+            ("component", "index"),
+            ("stream", "A"),
+        )
+
+    def test_kind_mismatch_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("n")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.histogram("n")
+        # Also on the fast path, when the exact series already exists.
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("n")
+
+    def test_histogram_buckets_bound_at_first_use(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("lat", buckets=(1.0, 10.0), stream="A")
+        h2 = reg.histogram("lat", buckets=(5.0, 50.0), stream="B")  # ignored
+        assert h1.boundaries == h2.boundaries == (1.0, 10.0)
+
+    def test_charge_updates_cost_total_and_series(self):
+        reg = MetricsRegistry()
+        reg.charge(2.5, "index", stream="A", index_kind="bit_address", phase="probe")
+        reg.charge(1.5, "index", stream="A", index_kind="bit_address", phase="probe")
+        reg.charge(1.0, "router", phase="decide")
+        assert reg.cost_total == 5.0
+        snap = reg.snapshot()
+        probe = snap.get(
+            COST_METRIC, component="index", stream="A",
+            index_kind="bit_address", phase="probe",
+        )
+        assert probe is not None and probe.value == 4.0
+        assert snap.sum_values(COST_METRIC) == 5.0
+        assert snap.cost_by("component") == {("index",): 4.0, ("router",): 1.0}
+        # Missing labels group under '-'.
+        assert snap.cost_by("stream") == {("A",): 4.0, ("-",): 1.0}
+
+    def test_snapshot_is_frozen_sorted_and_picklable(self):
+        reg = MetricsRegistry()
+        reg.counter("z_last").inc()
+        reg.counter("a_first", stream="B").inc()
+        reg.counter("a_first", stream="A").inc()
+        snap = reg.snapshot()
+        keys = [(s.name, s.labels) for s in snap.series]
+        assert keys == sorted(keys)
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+
+
+class TestSpans:
+    def test_ids_are_sequential_and_parents_link(self):
+        reg = MetricsRegistry()
+        tick = reg.start_span("tick", 5)
+        child = reg.start_span("tuple", 5, parent=tick, stream="A")
+        assert (tick.span_id, child.span_id) == (0, 1)
+        assert child.parent_id == 0
+        rec = reg.end_span(child, 7, status="processed")
+        assert rec.duration_ticks == 2
+        assert dict(rec.attrs) == {"stream": "A", "status": "processed"}
+        reg.end_span(tick, 5)
+        assert [r.name for r in reg.flight.spans()] == ["tuple", "tick"]
+
+    def test_double_end_and_backwards_end_rejected(self):
+        reg = MetricsRegistry()
+        span = reg.start_span("tick", 5)
+        with pytest.raises(ValueError):
+            reg.end_span(span, 3)
+        reg.end_span(span, 5)
+        with pytest.raises(ValueError):
+            reg.end_span(span, 6)
+
+    def test_point_span_is_zero_duration(self):
+        reg = MetricsRegistry()
+        rec = reg.point_span("death", 42, used=99)
+        assert rec.start_tick == rec.end_tick == 42
+        assert rec.duration_ticks == 0
+
+    def test_span_record_to_dict_prefixes_attrs(self):
+        rec = SpanRecord(1, "tuple", 3, 5, parent_id=0, attrs=(("stream", "A"),))
+        d = rec.to_dict()
+        assert d["attr_stream"] == "A"
+        assert d["span_id"] == 1 and d["parent_id"] == 0
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_last_capacity_and_counts_drops(self):
+        fr = FlightRecorder(capacity=3)
+        for i in range(10):
+            fr.add(SpanRecord(i, "tick", i, i))
+        assert len(fr) == 3
+        assert fr.recorded == 10
+        assert fr.dropped == 7
+        assert [r.span_id for r in fr.spans()] == [7, 8, 9]
+
+    def test_since_tick_and_last_ticks(self):
+        fr = FlightRecorder(capacity=100)
+        for i in range(10):
+            fr.add(SpanRecord(i, "tick", i, i + 1))
+        assert [r.span_id for r in fr.since_tick(9)] == [8, 9]
+        # last_ticks(3): spans still active at tick >= 10 - 3 + 1 = 8.
+        assert [r.span_id for r in fr.last_ticks(3)] == [7, 8, 9]
+        assert FlightRecorder(capacity=5).last_ticks(3) == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+@pytest.fixture
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.charge(2.5, "index", stream="A", index_kind="bit_address", phase="probe")
+    reg.charge(0.2, "router", phase="decide")
+    reg.counter("probes_total", "probe count", stream="A").inc(7)
+    reg.gauge("backlog", "queued items").set(3)
+    h = reg.histogram("probe_matches", "matches per probe", buckets=(1.0, 4.0))
+    for v in (0, 1, 3, 9):
+        h.observe(v)
+    span = reg.start_span("tick", 1)
+    reg.end_span(span, 1, cost=2.7)
+    return reg
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, populated_registry):
+        snap = populated_registry.snapshot()
+        records = from_jsonl(to_jsonl(snap))
+        series = [r for r in records if r["record"] == "series"]
+        assert len(series) == len(snap.series)
+        aggregate = records[-1]
+        assert aggregate["record"] == "aggregate"
+        assert aggregate["cost_total"] == snap.cost_total
+        hist = next(r for r in series if r["name"] == "probe_matches")
+        assert hist["buckets"] == [[1.0, 2], [4.0, 3], ["+Inf", 4]]
+        assert hist["count"] == 4
+
+    def test_csv_round_trip_is_lossless(self, populated_registry):
+        snap = populated_registry.snapshot()
+        records = from_csv(to_csv(snap))
+        assert len(records) == len(snap.series)
+        by_key = {(r["name"], tuple(sorted(r["labels"].items()))): r for r in records}
+        for s in snap.series:
+            rec = by_key[(s.name, s.labels)]
+            if s.kind == "histogram":
+                assert rec["total"] == s.total and rec["count"] == s.count
+            else:
+                # repr round-trip: floats come back bit-identical.
+                assert rec["value"] == s.value
+
+    def test_prometheus_families_and_histogram(self, populated_registry):
+        text = to_prometheus(populated_registry.snapshot())
+        lines = text.splitlines()
+        assert "# HELP probes_total probe count" in lines
+        assert "# TYPE probes_total counter" in lines
+        assert "# TYPE backlog gauge" in lines
+        assert "# TYPE probe_matches histogram" in lines
+        assert 'probes_total{stream="A"} 7.0' in lines
+        assert 'probe_matches_bucket{le="1.0"} 2' in lines
+        assert 'probe_matches_bucket{le="+Inf"} 4' in lines
+        assert "probe_matches_sum 13.0" in lines
+        assert "probe_matches_count 4" in lines
+        # Families are alphabetical and each HELP precedes its TYPE.
+        families = [l.split()[2] for l in lines if l.startswith("# TYPE")]
+        assert families == sorted(families)
+
+    def test_prometheus_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("weird", stream='A"quoted\\back\nline').inc()
+        text = to_prometheus(reg.snapshot())
+        assert 'stream="A\\"quoted\\\\back\\nline"' in text
+        # The rendered line must stay on one physical line.
+        (series_line,) = [l for l in text.splitlines() if l.startswith("weird{")]
+        assert series_line.endswith("} 1.0")
+
+    def test_jsonl_replaces_non_finite_floats(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        records = from_jsonl(to_jsonl(reg.snapshot()))
+        assert records[0]["value"] is None
+
+    def test_write_metrics_and_trace_files(self, populated_registry, tmp_path):
+        snap = populated_registry.snapshot()
+        mpath = write_metrics(tmp_path / "m.jsonl", snap)
+        assert from_jsonl(mpath.read_text())[-1]["record"] == "aggregate"
+        ppath = write_metrics(tmp_path / "m.prom", snap, "prometheus")
+        assert ppath.read_text().startswith("# HELP")
+        tpath = write_trace(tmp_path / "t.jsonl", snap)
+        spans = [json.loads(l) for l in tpath.read_text().splitlines()]
+        assert spans and spans[0]["name"] == "tick"
+        with pytest.raises(ValueError):
+            write_metrics(tmp_path / "m.xml", snap, "xml")

@@ -1,5 +1,8 @@
 """Tests for structured engine event tracing."""
 
+import json
+import threading
+
 import pytest
 
 from repro.engine.tracing import (
@@ -55,6 +58,21 @@ class TestEventLog:
         line = log.to_lines()[0]
         assert "t=7" in line and "[C]" in line and "old=a" in line
 
+    def test_to_jsonl_round_trips(self):
+        log = EventLog()
+        log.record(7, "migration", "C", old="a", new="b")
+        log.record(9, "shed", None, count=40)
+        records = [json.loads(line) for line in log.to_jsonl().splitlines()]
+        assert records == [
+            {"record": "event", "tick": 7, "kind": "migration", "stream": "C",
+             "detail": {"old": "a", "new": "b"}},
+            {"record": "event", "tick": 9, "kind": "shed", "stream": None,
+             "detail": {"count": 40}},
+        ]
+
+    def test_empty_log_exports_empty_jsonl(self):
+        assert EventLog().to_jsonl() == ""
+
 
 class TestEventKindRegistry:
     def test_builtins_registered(self):
@@ -87,6 +105,35 @@ class TestEventKindRegistry:
     def test_registry_view_is_immutable(self):
         kinds = registered_event_kinds()
         assert isinstance(kinds, frozenset)
+
+    def test_concurrent_registration_is_safe(self):
+        names = [f"stress_kind_{i}" for i in range(8)]
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+
+        def register(name):
+            barrier.wait()
+            try:
+                for _ in range(200):  # idempotent re-registration from all threads
+                    register_event_kind(name)
+                    register_event_kind("stress_kind_shared")
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=register, args=(n,)) for n in names]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert set(names) <= registered_event_kinds()
+            assert "stress_kind_shared" in registered_event_kinds()
+        finally:
+            from repro.engine import tracing
+
+            for name in names + ["stress_kind_shared"]:
+                tracing._REGISTERED_KINDS.discard(name)
 
 
 class TestTracedRun:

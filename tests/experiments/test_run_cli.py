@@ -1,6 +1,7 @@
 """Tests for the generic experiment-runner CLI."""
 
 import csv
+import json
 
 import pytest
 
@@ -91,6 +92,26 @@ class TestCLI:
     def test_faults_rejects_unknown_profile(self):
         with pytest.raises(SystemExit):
             run_cli.main(["--schemes", "scan", "--ticks", "5", "--faults", "mayhem"])
+
+    def test_metrics_and_trace_export(self, tmp_path, capsys):
+        rc = run_cli.main(
+            [
+                "--schemes", "scan,amri:sria", "--ticks", "12", "--no-train",
+                "--metrics", str(tmp_path / "m"),
+                "--trace", str(tmp_path / "t"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cost units by component" in out
+        for scheme in ("scan", "amri_sria"):
+            metrics_file = tmp_path / "m" / f"paper_{scheme}_metrics.jsonl"
+            records = [json.loads(l) for l in metrics_file.read_text().splitlines()]
+            assert records[-1]["record"] == "aggregate"
+            assert records[-1]["cost_total"] > 0
+            trace_file = tmp_path / "t" / f"paper_{scheme}_trace.jsonl"
+            spans = [json.loads(l) for l in trace_file.read_text().splitlines()]
+            assert any(s["name"] == "tick" for s in spans)
 
 
 class TestTrainedPath:

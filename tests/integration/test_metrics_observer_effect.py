@@ -1,0 +1,99 @@
+"""Metrics must be a pure observer: attaching a registry changes nothing.
+
+The observability layer's core guarantee (see ``docs/observability.md``)
+is the same one the invariant checker makes: a run is byte-identical with
+metrics on or off.  This suite asserts it three ways — output multisets
+across schemes (differential), full ``RunStats`` equality, and the
+pool-vs-serial determinism path with ``collect_metrics=True`` — plus the
+attribution invariant that the registry's grand total equals the virtual
+clock exactly.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.metrics import MetricsRegistry
+from repro.experiments.parallel import RunSpec, execute_spec, run_parallel
+from repro.workloads.scenarios import PaperScenario
+from tests.integration.test_differential import (
+    SCHEMES,
+    TICKS,
+    canonical,
+    small_params,
+)
+
+
+def run_with_registry(scenario, scheme, registry):
+    sink: list = []
+    executor = scenario.make_executor(scheme, output_sink=sink.extend, metrics=registry)
+    stats = executor.run(TICKS, scenario.make_generator())
+    return canonical(sink), stats, executor
+
+
+class TestNoObserverEffect:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), scheme=st.sampled_from(SCHEMES + ("scan",)))
+    def test_outputs_and_stats_identical_with_and_without_metrics(self, seed, scheme):
+        params = small_params(seed)
+        bare_out, bare_stats, bare_ex = run_with_registry(
+            PaperScenario(params), scheme, registry=None
+        )
+        inst_out, inst_stats, inst_ex = run_with_registry(
+            PaperScenario(params), scheme, registry=MetricsRegistry()
+        )
+        assert inst_out == bare_out
+        assert inst_stats == bare_stats
+        # Attaching the registry must not move the virtual clock either.
+        assert inst_ex.meter.total_spent == bare_ex.meter.total_spent
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000), scheme=st.sampled_from(SCHEMES))
+    def test_attributed_total_equals_virtual_clock_exactly(self, seed, scheme):
+        registry = MetricsRegistry()
+        _, _, ex = run_with_registry(PaperScenario(small_params(seed)), scheme, registry)
+        snap = registry.snapshot()
+        # Bit-for-bit: the registry replays the meter's accumulation order.
+        assert snap.cost_total == ex.meter.total_spent
+        # Regrouped per-series sums only drift by float associativity.
+        series_sum = snap.sum_values("cost_units_total")
+        assert abs(series_sum - snap.cost_total) <= 1e-9 * max(snap.cost_total, 1.0)
+
+
+class TestPoolDeterminismWithMetrics:
+    def make_specs(self, collect):
+        return [
+            RunSpec(
+                small_params(seed),
+                scheme,
+                ticks=TICKS,
+                train=False,
+                collect_metrics=collect,
+            )
+            for seed in (3, 4)
+            for scheme in ("scan", "amri:sria")
+        ]
+
+    def test_pool_equals_serial_and_snapshots_cross_the_boundary(self):
+        serial = run_parallel(self.make_specs(collect=True), workers=0)
+        pooled = run_parallel(self.make_specs(collect=True), workers=2)
+        bare = run_parallel(self.make_specs(collect=False), workers=0)
+        for s, p, b in zip(serial, pooled, bare):
+            assert s.stats == p.stats == b.stats
+            # Snapshots made it through the process pool intact.
+            assert p.metrics is not None and p.metrics == s.metrics
+            assert p.metrics.cost_total > 0
+            # The final audit sample saw the same clock the registry totals.
+            if s.stats.samples:
+                assert p.metrics.cost_total >= s.stats.samples[-1].cost_spent
+            assert b.metrics is None
+
+    def test_outcome_with_snapshot_is_picklable(self):
+        outcome = execute_spec(
+            RunSpec(small_params(5), "amri:sria", ticks=TICKS, train=False,
+                    collect_metrics=True)
+        )
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.metrics == outcome.metrics
+        assert clone.metrics.spans == outcome.metrics.spans

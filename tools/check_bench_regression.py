@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Gate benchmark regressions on *cost units*, not wall-clock noise.
+
+``python tools/check_bench_regression.py BASELINE.json NEW.json`` compares
+the deterministic ``extra_info["cost_units"]`` recorded by
+``benchmarks/test_micro_index_ops.py`` (see its module docstring) between
+two ``pytest-benchmark --benchmark-json`` exports.  Cost units count model
+operations, so on identical code the two files agree exactly; any drift
+beyond ``--tolerance`` (relative) means an index hot path genuinely got
+more expensive and the check exits 1.
+
+``--metrics PATH`` additionally writes the comparison as a metrics
+snapshot (JSONL, via :mod:`repro.engine.metrics_export`) so CI can upload
+it as an artifact alongside the raw benchmark JSON.
+
+Wall-clock stats are reported for context but never gate: CI runners are
+too noisy for timing thresholds to be trustworthy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_cost_units(path: Path) -> dict[str, float]:
+    """Map benchmark name -> recorded cost units (benchmarks lacking the
+    ``cost_units`` extra_info — e.g. assessors, which have no accountant —
+    are simply not comparable and are skipped)."""
+    data = json.loads(path.read_text())
+    out: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        cost = bench.get("extra_info", {}).get("cost_units")
+        if cost is not None:
+            out[bench["name"]] = float(cost)
+    return out
+
+
+def load_mean_seconds(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {
+        b["name"]: float(b["stats"]["mean"])
+        for b in data.get("benchmarks", [])
+        if "stats" in b
+    }
+
+
+def compare(
+    baseline: dict[str, float], new: dict[str, float], tolerance: float
+) -> tuple[list[tuple[str, float, float, float]], list[str]]:
+    """Return (regressions, messages).  A regression is ``(name, base,
+    new, rel_change)`` with ``rel_change > tolerance``; improvements and
+    in-tolerance drift only produce messages."""
+    regressions: list[tuple[str, float, float, float]] = []
+    messages: list[str] = []
+    for name in sorted(baseline):
+        if name not in new:
+            messages.append(f"MISSING  {name}: present in baseline, absent in new run")
+            continue
+        base, cur = baseline[name], new[name]
+        rel = (cur - base) / max(abs(base), 1e-12)
+        if rel > tolerance:
+            regressions.append((name, base, cur, rel))
+        elif rel < -tolerance:
+            messages.append(f"IMPROVED {name}: {base:,.2f} -> {cur:,.2f} ({rel:+.1%})")
+        else:
+            messages.append(f"OK       {name}: {base:,.2f} -> {cur:,.2f} ({rel:+.1%})")
+    for name in sorted(set(new) - set(baseline)):
+        messages.append(f"NEW      {name}: {new[name]:,.2f} (no baseline; not gated)")
+    return regressions, messages
+
+
+def write_metrics_jsonl(
+    path: Path,
+    baseline: dict[str, float],
+    new: dict[str, float],
+    new_means: dict[str, float],
+) -> None:
+    """Export the comparison through the repo's own metrics pipeline."""
+    from repro.engine.metrics import MetricsRegistry
+    from repro.engine.metrics_export import write_metrics
+
+    registry = MetricsRegistry()
+    for name, cost in sorted(new.items()):
+        registry.counter(
+            "bench_cost_units", "deterministic cost units per benchmark", bench=name
+        ).inc(cost)
+        base = baseline.get(name)
+        if base is not None:
+            registry.gauge(
+                "bench_cost_units_baseline", "committed baseline cost units", bench=name
+            ).set(base)
+    for name, mean in sorted(new_means.items()):
+        registry.gauge(
+            "bench_mean_seconds", "wall-clock mean (context only, not gated)", bench=name
+        ).set(mean)
+    write_metrics(path, registry.snapshot())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_micro.json")
+    parser.add_argument("new", type=Path, help="fresh --benchmark-json export")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="max tolerated relative cost-unit increase (default 0.05)",
+    )
+    parser.add_argument(
+        "--metrics", type=Path, default=None, help="write comparison as metrics JSONL"
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_cost_units(args.baseline)
+    new = load_cost_units(args.new)
+    if not baseline or not new:
+        print(
+            "no cost_units extra_info found to compare "
+            f"(baseline: {len(baseline)} series, new: {len(new)} series)",
+            file=sys.stderr,
+        )
+        return 1
+
+    regressions, messages = compare(baseline, new, args.tolerance)
+    for line in messages:
+        print(line)
+    for name, base, cur, rel in regressions:
+        print(f"REGRESSED {name}: {base:,.2f} -> {cur:,.2f} ({rel:+.1%})")
+
+    if args.metrics is not None:
+        write_metrics_jsonl(args.metrics, baseline, new, load_mean_seconds(args.new))
+        print(f"metrics written to {args.metrics}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.tolerance:.0%} cost-unit tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(new)} comparable benchmarks within {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
