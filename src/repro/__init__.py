@@ -27,6 +27,6 @@ Quickstart::
     hits = index.search(ap, {"priority": 2012, "location": 47})
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

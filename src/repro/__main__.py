@@ -18,7 +18,7 @@ BANNER = f"""repro {__version__} — AMRI: Index Tuning for Adaptive Multi-Route
 subcommands (python -m repro <cmd> --help for flags):
   profile   per-component cost-unit profile of one run (--metrics/--trace export)
   run       scheme comparison with CSV/metrics export
-            (also: python -m repro.experiments.run --schemes amri:cdia-highest,static)
+            (also: --scheduler fifo|backlog, --partitions K for partitioned kernels)
   figures   regenerate the paper's figures/tables <fig6|fig6-hash|fig7|table2|all>
 
 examples:    examples/quickstart.py | package_tracking.py | stock_monitoring.py |
@@ -55,7 +55,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return int(entry(rest))
     except SystemExit as exc:  # argparse --help / usage errors keep their code
-        return int(exc.code or 0)
+        code = exc.code
+        if code is None:
+            return 0
+        if isinstance(code, int):
+            return code
+        # SystemExit("message") means exit(message): print it, usage error.
+        print(code, file=sys.stderr)
+        return 2
     except Exception as exc:
         print(f"{command} failed: {exc}", file=sys.stderr)
         return 1

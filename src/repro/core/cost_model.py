@@ -32,7 +32,6 @@ configurations the paper names.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 

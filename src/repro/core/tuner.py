@@ -28,7 +28,6 @@ from repro.core.access_pattern import AccessPattern
 from repro.core.assessment.base import FrequencyAssessor
 from repro.core.bit_index import BitAddressIndex
 from repro.core.cost_model import WorkloadStatistics, estimate_cd, migration_cost
-from repro.core.index_config import IndexConfiguration
 from repro.core.selector import IndexSelector, pad_patterns_to_k, select_hash_patterns
 from repro.indexes.base import CostParams
 from repro.indexes.hash_index import MultiHashIndex

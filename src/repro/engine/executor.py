@@ -1,6 +1,7 @@
-"""The AMR execution loop: arrivals → routing → probes → outputs.
+"""The AMR executor facade over the staged engine kernel.
 
-Discrete-time semantics:
+Discrete-time semantics (unchanged since the monolith this module used to
+be — the loop now lives in :mod:`repro.engine.kernel`):
 
 1. Each tick, the workload generator delivers ``λ_d`` tuples per stream;
    each is inserted into its state immediately (window maintenance is not
@@ -17,58 +18,57 @@ Discrete-time semantics:
    budget or the run dies (recorded, not raised, so harnesses can compare
    dead and live schemes).
 
+:class:`AMRExecutor` is now a thin facade: it assembles an
+:class:`~repro.engine.kernel.EngineContext` plus the default stage
+pipeline (``arrivals → expiry → route/probe → faults → tuning →
+shed/degrade → audit``) and delegates the loop to
+:class:`~repro.engine.kernel.EngineKernel`.  The decomposition is
+byte-identical to the monolith — every float add, RNG draw, event, metric
+series, and span id is preserved, which
+``tests/integration/test_golden_equivalence.py`` holds against goldens
+generated *before* the refactor.  New knobs the kernel adds (pluggable
+``scheduler``, custom ``stages``) default to the historical behaviour.
+
 All index work is charged through the per-state accountants, so different
 index schemes consume the same capacity at different rates — slower schemes
 build backlog, produce fewer outputs per tick, and eventually die of
 memory, which is exactly the behaviour Section V reports.
 
-Observability: every virtual-clock charge flows through :meth:`_spend`,
-which attributes the *same float* to a labelled series on the attached
-:class:`~repro.engine.metrics.MetricsRegistry` ``(component, stream,
-index_kind, phase)`` immediately after spending it — so the attributed
-grand total equals ``meter.total_spent`` bit-for-bit.  Tuple lifecycles,
-ticks, and tuning rounds become spans in the registry's flight recorder.
-With no registry attached every metrics hook is a no-op and the run is
-byte-identical (asserted by the differential suites).
+Observability: every virtual-clock charge flows through
+:meth:`~repro.engine.kernel.EngineContext.spend` (exposed here as
+``_spend``), which attributes the *same float* to a labelled series on the
+attached :class:`~repro.engine.metrics.MetricsRegistry` ``(component,
+stream, index_kind, phase)`` immediately after spending it — so the
+attributed grand total equals ``meter.total_spent`` bit-for-bit.  Tuple
+lifecycles, ticks, and tuning rounds become spans in the registry's flight
+recorder.  With no registry attached every metrics hook is a no-op and the
+run is byte-identical (asserted by the differential suites).
 """
 
 from __future__ import annotations
 
-import re
-from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.tuner import TuningContext
-from repro.engine.metrics import MetricsRegistry, Span
+from repro.engine.kernel.context import EngineContext, index_kind_label
+from repro.engine.kernel.kernel import TICK_COST_BUCKETS, EngineKernel, default_stages
+from repro.engine.kernel.scheduler import Scheduler
+from repro.engine.kernel.stages import MATCH_BUCKETS, Stage, tune_round
+from repro.engine.metrics import MetricsRegistry
 from repro.engine.query import Query
-from repro.engine.resources import (
-    DegradationPolicy,
-    MemoryBreakdown,
-    MemoryBudgetExceeded,
-    ResourceMeter,
-)
+from repro.engine.resources import DegradationPolicy, MemoryBreakdown, ResourceMeter
 from repro.engine.router import Router
-from repro.engine.stats import RunStats, SelectivityEstimator
+from repro.engine.stats import RunStats
 from repro.engine.stem import SteM
-from repro.engine.tuples import JoinedTuple, StreamTuple
 from repro.utils.validation import check_positive
 
-#: Histogram boundaries for per-tick cost (cost units; capacity ~1e4-2e4).
-TICK_COST_BUCKETS = (100.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0)
-
-#: Histogram boundaries for per-probe match counts.
-MATCH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
-
-
-def index_kind_label(index: object) -> str:
-    """A stable ``index_kind`` label: snake-cased class name sans ``Index``.
-
-    ``BitAddressIndex → bit_address``, ``MultiHashIndex → multi_hash``,
-    ``ScanIndex → scan`` — derived, so extension indexes label themselves.
-    """
-    name = type(index).__name__
-    name = name.removesuffix("Index") or name
-    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+__all__ = [
+    "AMRExecutor",
+    "ExecutorConfig",
+    "MATCH_BUCKETS",
+    "TICK_COST_BUCKETS",
+    "index_kind_label",
+]
 
 
 @dataclass
@@ -108,6 +108,14 @@ class AMRExecutor:
         Optional :class:`~repro.engine.metrics.MetricsRegistry`.  When
         absent (the default) every instrumentation hook is a no-op and the
         run is byte-identical to an uninstrumented one.
+    scheduler:
+        Backlog-drain policy: a :class:`~repro.engine.kernel.Scheduler`,
+        a registry name (``"fifo"``, ``"backlog"``), or ``None`` for the
+        historical FIFO drain.
+    stages:
+        A custom stage pipeline replacing
+        :func:`~repro.engine.kernel.default_stages` (``scheduler`` is then
+        ignored — the pipeline's own :class:`RouteProbeStage` carries it).
     """
 
     def __init__(
@@ -126,35 +134,66 @@ class AMRExecutor:
         invariant_checker=None,
         degradation: DegradationPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        scheduler: Scheduler | str | None = None,
+        stages: Sequence[Stage] | None = None,
     ) -> None:
-        missing = set(query.stream_names) - set(stems)
-        if missing:
-            raise ValueError(f"no SteM configured for streams: {sorted(missing)}")
-        self.query = query
-        self.stems = stems
-        self.router = router
-        self.meter = meter
-        self.arrival_rates = dict(arrival_rates)
-        self.domain_bits = dict(domain_bits or {})
-        self.config = config if config is not None else ExecutorConfig()
-
-        self.estimator = SelectivityEstimator()
-        self.stats = RunStats()
-        self.output_sink = output_sink  # callable(list[JoinedTuple]) or None
-        self.event_log = event_log  # repro.engine.tracing.EventLog or None
-        self.fault_injector = fault_injector  # repro.engine.faults.FaultInjector or None
-        self.invariant_checker = invariant_checker  # repro.engine.faults.InvariantChecker or None
-        self.degradation = degradation  # DegradationPolicy or None (die on breach)
-        self.metrics = metrics  # MetricsRegistry or None (hooks are no-ops)
-        self._queue: deque[StreamTuple] = deque()
-        self._n_streams = len(query.stream_names)
-        # Metrics-only state: open tuple-lifecycle spans keyed by tuple
-        # identity, and the last sampled clock reading (per-tick cost).
-        self._live_spans: dict[int, Span] = {}
-        self._spent_at_tick_start = 0.0
+        self._ctx = EngineContext(
+            query=query,
+            stems=stems,
+            router=router,
+            meter=meter,
+            arrival_rates=dict(arrival_rates),
+            domain_bits=dict(domain_bits or {}),
+            config=config if config is not None else ExecutorConfig(),
+            output_sink=output_sink,
+            event_log=event_log,
+            fault_injector=fault_injector,
+            invariant_checker=invariant_checker,
+            degradation=degradation,
+            metrics=metrics,
+        )
+        self._kernel = EngineKernel(
+            self._ctx,
+            stages if stages is not None else default_stages(scheduler),
+            host=self,
+        )
 
     # ------------------------------------------------------------------ #
-    # cost plumbing
+    # kernel access
+
+    @property
+    def context(self) -> EngineContext:
+        """The run's shared state (what every stage operates on)."""
+        return self._ctx
+
+    @property
+    def kernel(self) -> EngineKernel:
+        """The staged loop driving this executor."""
+        return self._kernel
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        """The assembled pipeline, in execution order."""
+        return self._kernel.stages
+
+    # ------------------------------------------------------------------ #
+    # compatibility surface (delegates into the context)
+
+    @property
+    def backlog(self) -> int:
+        """Queued-but-unprocessed source tuples."""
+        return len(self._ctx.queue)
+
+    @property
+    def _queue(self):
+        return self._ctx.queue
+
+    @property
+    def _n_streams(self) -> int:
+        return self._ctx.n_streams
+
+    def _memory_breakdown(self) -> MemoryBreakdown:
+        return self._ctx.memory_breakdown()
 
     def _spend(
         self,
@@ -165,435 +204,16 @@ class AMRExecutor:
         index_kind: str | None = None,
         phase: str | None = None,
     ) -> None:
-        """Charge the virtual clock and attribute the identical float.
-
-        Every executor charge goes through here: the meter and the metrics
-        registry see the same value in the same order, which is what makes
-        the attributed total equal ``meter.total_spent`` exactly.
-        """
-        self.meter.spend(cost)
-        if self.metrics is not None:
-            self.metrics.charge(
-                cost, component, stream=stream, index_kind=index_kind, phase=phase
-            )
-
-    def _stem_cost(self, stem: SteM) -> float:
-        return stem.index.accountant.cost(self.meter.params)
+        """Charge the virtual clock and attribute the identical float."""
+        self._ctx.spend(
+            cost, component, stream=stream, index_kind=index_kind, phase=phase
+        )
 
     def _total_index_cost(self) -> float:
-        return sum(self._stem_cost(stem) for stem in self.stems.values())
-
-    def _stem_costs(self) -> dict[str, float]:
-        """Current accumulated index cost per state (attribution snapshot)."""
-        return {name: self._stem_cost(stem) for name, stem in self.stems.items()}
-
-    def _spend_index_deltas(
-        self, before: dict[str, float], *, component: str, phase: str
-    ) -> None:
-        """Charge each state's marginal index cost since ``before``.
-
-        The aggregate spent equals the per-state deltas by construction, so
-        nothing leaks; zero deltas are skipped (no series churn, and adding
-        0.0 would not move the clock anyway).
-        """
-        for name, stem in self.stems.items():
-            delta = self._stem_cost(stem) - before[name]
-            if delta:
-                self._spend(
-                    delta,
-                    component,
-                    stream=name,
-                    index_kind=index_kind_label(stem.index),
-                    phase=phase,
-                )
-
-    def _memory_breakdown(self) -> MemoryBreakdown:
-        params = self.meter.params
-        payload = sum(stem.payload_bytes for stem in self.stems.values())
-        index = sum(stem.index.memory_bytes for stem in self.stems.values())
-        backlog = len(self._queue) * params.queue_item_bytes
-        stat_entries = 0
-        for stem in self.stems.values():
-            assessor = getattr(stem.tuner, "assessor", None)
-            if assessor is not None:
-                stat_entries += assessor.entry_count
-        return MemoryBreakdown(
-            state_payload=payload,
-            index_structures=index,
-            backlog=backlog,
-            statistics=stat_entries * params.stat_entry_bytes,
-        )
-
-    @property
-    def backlog(self) -> int:
-        """Queued-but-unprocessed source tuples."""
-        return len(self._queue)
-
-    # ------------------------------------------------------------------ #
-    # per-tuple processing
-
-    def _admit_tuple(self, item: StreamTuple) -> bool:
-        """Insert an arriving tuple into its state immediately (maintenance).
-
-        State maintenance is not deferrable — windows must reflect arrivals —
-        so it is charged against the tick even when the tick is already
-        over budget.  Only the *search-request* work (routing + probes) is
-        queued; that is the backlog that piles up when an index scheme cannot
-        keep up, exactly the paper's "backlog of active search requests".
-
-        Returns False when a selection predicate filtered the tuple out
-        (predicate pushdown): it enters neither the state nor the queue.
-        """
-        m = self.metrics
-        filters = self.query.filters_for(item.stream)
-        if filters:
-            self._spend(
-                len(filters) * self.meter.params.c_compare,
-                "filter",
-                stream=item.stream,
-                phase="admit",
-            )
-            if not self.query.passes_filters(item.stream, item):
-                self.stats.filtered += 1
-                if m is not None:
-                    m.counter(
-                        "tuples_filtered_total",
-                        "arrivals dropped by predicate pushdown",
-                        stream=item.stream,
-                    ).inc()
-                return False
-        stem = self.stems[item.stream]
-        cost_before = self._stem_cost(stem)
-        stem.insert(item, item.arrived_at)
-        self.stats.source_tuples += 1
-        self._spend(
-            self._stem_cost(stem) - cost_before,
-            "index",
-            stream=item.stream,
-            index_kind=index_kind_label(stem.index),
-            phase="insert",
-        )
-        if m is not None:
-            m.counter(
-                "tuples_admitted_total", "source tuples admitted", stream=item.stream
-            ).inc()
-        return True
-
-    def _process_tuple(self, item: StreamTuple, tick: int) -> None:
-        params = self.meter.params
-        m = self.metrics
-        cost_before = self._stem_costs()
-        route = self.router.choose_route(item.stream, self.estimator, item)
-        outputs = 0
-        partials: list[JoinedTuple] = [JoinedTuple.of(item)]
-        joined: set[str] = {item.stream}
-        for target in route:
-            if not partials:
-                break
-            ap, bindings = self.query.probe_spec(joined, target)
-            stem = self.stems[target]
-            next_partials: list[JoinedTuple] = []
-            anchor = (item.arrived_at, item.stream)
-            for partial in partials:
-                values = self.query.probe_values(bindings, partial)
-                outcome = stem.probe(ap, values)
-                self.stats.probes += 1
-                # Timestamp ordering: the arriving tuple joins only with
-                # strictly-older tuples (stream name breaks same-tick ties),
-                # so each join result is produced exactly once — by its
-                # youngest member's probe sequence.
-                matches = [
-                    m2 for m2 in outcome.matches if (m2.arrived_at, m2.stream) < anchor
-                ]
-                self.stats.matches += len(matches)
-                self.estimator.observe(target, ap.mask, len(matches))
-                observe_content = getattr(self.router, "observe_content", None)
-                if observe_content is not None:
-                    bucket = self.router.bucket_for(item, item.stream, target)
-                    observe_content(target, ap.mask, bucket, len(matches))
-                if m is not None:
-                    m.counter(
-                        "probes_total",
-                        "search requests executed",
-                        stream=target,
-                        index_kind=index_kind_label(stem.index),
-                    ).inc()
-                    m.counter(
-                        "matches_total", "probe matches after ordering", stream=target
-                    ).inc(len(matches))
-                    m.histogram(
-                        "probe_matches",
-                        "matches per probe",
-                        buckets=MATCH_BUCKETS,
-                        stream=target,
-                    ).observe(len(matches))
-                    assessor = getattr(stem.tuner, "assessor", None)
-                    if assessor is not None:
-                        m.counter(
-                            "assessment_records_total",
-                            "access patterns recorded by assessors",
-                            stream=target,
-                            method=type(assessor).__name__,
-                        ).inc()
-                for match in matches:
-                    next_partials.append(partial.extend(match))
-                    if len(next_partials) >= self.config.max_fanout:
-                        break
-                if len(next_partials) >= self.config.max_fanout:
-                    break
-            joined.add(target)
-            partials = next_partials
-        if partials and len(joined) == self._n_streams:
-            outputs = len(partials)
-            self.stats.outputs += outputs
-            if self.output_sink is not None:
-                self.output_sink(partials)
-
-        self._spend_index_deltas(cost_before, component="index", phase="probe")
-        self._spend(params.c_route, "router", stream=item.stream, phase="decide")
-        self._spend(outputs * params.c_output, "output", stream=item.stream, phase="emit")
-        if m is not None:
-            m.counter("outputs_total", "join results emitted").inc(outputs)
-            m.histogram(
-                "route_length", "probe hops per routed tuple", stream=item.stream
-            ).observe(len(route))
-            span = self._live_spans.pop(id(item), None)
-            if span is not None:
-                m.end_span(span, tick, status="processed", outputs=outputs)
-
-    # ------------------------------------------------------------------ #
-    # tick phases
-
-    def _expire_all(self, now: int) -> None:
-        cost_before = self._stem_costs()
-        for stem in self.stems.values():
-            stem.expire(now)
-        self._spend_index_deltas(cost_before, component="index", phase="expire")
-
-    def _tune_stem(self, stem: SteM, tick: int, *, forced: bool = False):
-        """One state's tuning round, with stats and event bookkeeping."""
-        context = TuningContext(
-            lambda_d=self.arrival_rates.get(stem.stream, 1.0),
-            window=float(self.query.window),
-            horizon=float(self.config.assess_interval),
-            domain_bits=self.domain_bits,
-        )
-        report = stem.tune(context)
-        if report is not None:
-            self.stats.tuning_rounds += 1
-            if report.migrated:
-                self.stats.migrations += 1
-                if self.metrics is not None:
-                    self.metrics.counter(
-                        "migrations_total", "index migrations applied", stream=stem.stream
-                    ).inc()
-            if self.event_log is not None:
-                kind = "migration" if report.migrated else "tune"
-                saving = report.projected_saving
-                detail: dict[str, object] = dict(
-                    old=report.old_description,
-                    new=report.new_description,
-                    # NaN (the hash tuner estimates no C_D) would poison
-                    # event equality (nan != nan); record None instead.
-                    saving=round(saving, 1) if saving == saving else None,
-                )
-                if forced:
-                    detail["forced"] = True
-                self.event_log.record(tick, kind, stem.stream, **detail)
-        return report
-
-    def _tune_round(self, tick: int, streams=None, *, forced: bool = False) -> None:
-        """Tune the given states (default: all), attributing per state.
-
-        Each state's marginal tuning cost — assessment extraction,
-        selection, and any migration — is charged to the ``tuner``
-        component with phase ``migration`` or ``assess``; the round and its
-        per-state children become spans in the flight recorder.
-        """
-        m = self.metrics
-        stems = (
-            list(self.stems.values())
-            if streams is None
-            else [self.stems[s] for s in streams]
-        )
-        round_span = (
-            m.start_span("tuning_round", tick, forced=forced) if m is not None else None
-        )
-        for stem in stems:
-            before = self._stem_cost(stem)
-            kind = index_kind_label(stem.index)
-            report = self._tune_stem(stem, tick, forced=forced)
-            migrated = report is not None and report.migrated
-            delta = self._stem_cost(stem) - before
-            if delta:
-                self._spend(
-                    delta,
-                    "tuner",
-                    stream=stem.stream,
-                    index_kind=kind,
-                    phase="migration" if migrated else "assess",
-                )
-            if m is not None:
-                m.point_span(
-                    "tune",
-                    tick,
-                    round_span,
-                    stream=stem.stream,
-                    migrated=migrated,
-                    cost=delta,
-                )
-        if round_span is not None and m is not None:
-            m.end_span(round_span, tick)
+        return self._ctx.total_index_cost()
 
     def _tune_all(self, tick: int = -1) -> None:
-        self._tune_round(tick)
-
-    # ------------------------------------------------------------------ #
-    # fault application and graceful degradation
-
-    def _apply_tuning_faults(self, tick: int) -> None:
-        """Apply this tick's injected tuning-level perturbations."""
-        injector = self.fault_injector
-        for stream in injector.corruptions(tick):
-            stem = self.stems[stream]
-            assessor = getattr(stem.tuner, "assessor", None)
-            if assessor is None:
-                continue
-            for ap in injector.corrupt_patterns(stem.jas):
-                assessor.record(ap)
-        forced = injector.forced_migrations(tick)
-        if forced:
-            self._tune_round(tick, forced, forced=True)
-
-    def _shed_backlog(self, tick: int, breakdown: MemoryBreakdown, soft: int) -> MemoryBreakdown:
-        """Drop backlogged requests oldest-first until under ``soft`` bytes."""
-        policy = self.degradation
-        sheddable = len(self._queue) - policy.shed_floor
-        if sheddable <= 0:
-            return breakdown
-        per = self.meter.params.queue_item_bytes
-        excess = breakdown.total - soft
-        n = min(sheddable, -(-excess // per))  # ceil division
-        if n <= 0:
-            return breakdown
-        m = self.metrics
-        for _ in range(n):
-            item = self._queue.popleft()
-            if m is not None:
-                span = self._live_spans.pop(id(item), None)
-                if span is not None:
-                    m.end_span(span, tick, status="shed")
-        self.stats.shed_tuples += n
-        if m is not None:
-            m.counter("shed_tuples_total", "backlogged requests shed").inc(n)
-            m.point_span("shed", tick, count=n, freed=n * per)
-        if self.event_log is not None:
-            self.event_log.record(tick, "shed", None, count=n, freed=n * per)
-        return self._memory_breakdown()
-
-    def _degrade_indexes(self, tick: int, breakdown: MemoryBreakdown, budget: int) -> MemoryBreakdown:
-        """Fall heaviest-first from index structures to full scans."""
-        m = self.metrics
-        by_weight = sorted(
-            self.stems.values(), key=lambda s: s.index.memory_bytes, reverse=True
-        )
-        for stem in by_weight:
-            if breakdown.total <= budget:
-                break
-            if stem.degraded or stem.index.memory_bytes <= 0:
-                continue
-            freed = stem.index.memory_bytes
-            cost_before = self._stem_cost(stem)
-            kind = index_kind_label(stem.index)
-            moved = stem.degrade_to_scan()
-            self._spend(
-                self._stem_cost(stem) - cost_before,
-                "index",
-                stream=stem.stream,
-                index_kind=kind,
-                phase="degrade",
-            )
-            self.stats.degradations += 1
-            if m is not None:
-                m.counter(
-                    "degradations_total", "states degraded to full scan", stream=stem.stream
-                ).inc()
-                m.point_span("degrade", tick, stream=stem.stream, freed=freed, moved=moved)
-            if self.event_log is not None:
-                self.event_log.record(
-                    tick, "degrade", stem.stream, to="scan", freed=freed, moved=moved
-                )
-            breakdown = self._memory_breakdown()
-        return breakdown
-
-    def _sample_metrics(self, tick: int, breakdown: MemoryBreakdown) -> None:
-        """Refresh sampled gauges (memory sections, backlog, index ops)."""
-        m = self.metrics
-        assert m is not None
-        m.gauge("backlog", "queued search requests").set(len(self._queue))
-        sections = {
-            "payload": breakdown.state_payload,
-            "index": breakdown.index_structures,
-            "backlog": breakdown.backlog,
-            "statistics": breakdown.statistics,
-        }
-        for section, used in sections.items():
-            m.gauge("memory_bytes", "tracked engine memory", section=section).set(used)
-        for name, stem in self.stems.items():
-            acct = stem.index.accountant
-            for op in (
-                "hashes",
-                "comparisons",
-                "buckets_visited",
-                "tuples_examined",
-                "inserts",
-                "deletes",
-                "moves",
-            ):
-                m.gauge(
-                    "index_ops", "cumulative accountant operations", stream=name, op=op
-                ).set(getattr(acct, op))
-            assessor = getattr(stem.tuner, "assessor", None)
-            if assessor is not None:
-                m.gauge(
-                    "assessment_entries",
-                    "statistics entries held",
-                    stream=name,
-                    method=type(assessor).__name__,
-                ).set(assessor.entry_count)
-
-    def _audit_and_sample(self, tick: int) -> bool:
-        """Memory audit with graceful degradation; True when the run died."""
-        breakdown = self._memory_breakdown()
-        budget = self.meter.memory_budget
-        if self.fault_injector is not None:
-            budget = self.fault_injector.memory_budget(tick, budget)
-        policy = self.degradation
-        if policy is not None:
-            soft = int(policy.headroom * budget)
-            if breakdown.total > soft:
-                breakdown = self._shed_backlog(tick, breakdown, soft)
-            if policy.scan_fallback and breakdown.total > budget:
-                breakdown = self._degrade_indexes(tick, breakdown, budget)
-        self.stats.sample(tick, self.meter.total_spent, breakdown.total, len(self._queue))
-        if self.metrics is not None:
-            self._sample_metrics(tick, breakdown)
-        try:
-            self.meter.check_memory(breakdown, tick, budget=budget)
-        except MemoryBudgetExceeded as exc:
-            self.stats.died_at = tick
-            self.stats.death_reason = str(exc)
-            if self.metrics is not None:
-                self.metrics.counter("deaths_total", "out-of-memory deaths").inc()
-                self.metrics.point_span(
-                    "death", tick, used=exc.used, budget=exc.budget
-                )
-            if self.event_log is not None:
-                self.event_log.record(
-                    tick, "death", None, used=exc.used, budget=exc.budget
-                )
-            return True
-        return False
+        tune_round(self._ctx, tick)
 
     # ------------------------------------------------------------------ #
     # the loop
@@ -611,62 +231,39 @@ class AMRExecutor:
         pressure sheds backlog and degrades indexes (``shed`` / ``degrade``
         events) before it can kill the run.
         """
-        check_positive("duration", duration)
-        cfg = self.config
-        injector = self.fault_injector
-        m = self.metrics
-        last_tick = 0
-        for tick in range(duration):
-            last_tick = tick
-            self.meter.start_tick()
-            tick_span: Span | None = None
-            if m is not None:
-                m.counter("engine_ticks_total", "ticks executed").inc()
-                self._spent_at_tick_start = self.meter.total_spent
-                tick_span = m.start_span("tick", tick)
-            items = arrivals(tick)
-            if injector is not None:
-                injector.begin_tick(tick, self.event_log)
-                items = injector.perturb_arrivals(tick, items)
-            for item in items:
-                if self._admit_tuple(item):
-                    self._queue.append(item)
-                    if m is not None:
-                        self._live_spans[id(item)] = m.start_span(
-                            "tuple", tick, tick_span, stream=item.stream
-                        )
-            self._expire_all(tick)
-            while self._queue and not self.meter.exhausted:
-                self._process_tuple(self._queue.popleft(), tick)
-            if injector is not None:
-                self._apply_tuning_faults(tick)
-            if tick >= cfg.tune_warmup and tick > 0 and tick % cfg.assess_interval == 0:
-                self._tune_all(tick)
-            died = False
-            if tick % cfg.sample_interval == 0 or tick == duration - 1:
-                died = self._audit_and_sample(tick)
-            if m is not None and tick_span is not None:
-                tick_cost = self.meter.total_spent - self._spent_at_tick_start
-                m.histogram(
-                    "tick_cost_units",
-                    "cost units spent per tick",
-                    buckets=TICK_COST_BUCKETS,
-                ).observe(tick_cost)
-                m.end_span(
-                    tick_span, tick, cost=round(tick_cost, 3), backlog=len(self._queue)
-                )
-            if died:
-                break
-            if self.invariant_checker is not None:
-                self.invariant_checker.check(self, tick)
-        if m is not None:
-            # Close any still-open tuple spans (backlog at end of run or
-            # at death) so the flight recorder's last ticks reconstruct.
-            for item in self._queue:
-                span = self._live_spans.pop(id(item), None)
-                if span is not None:
-                    m.end_span(span, last_tick, status="backlog")
-            self._live_spans.clear()
-        if injector is not None:
-            self.stats.faults_injected = injector.injected
-        return self.stats
+        return self._kernel.run(duration, arrivals)
+
+
+def _context_delegate(name: str) -> property:
+    def fget(self):
+        return getattr(self._ctx, name)
+
+    def fset(self, value):
+        setattr(self._ctx, name, value)
+
+    return property(fget, fset)
+
+
+# The monolith exposed its run state as instance attributes; the facade
+# write-through-delegates each to the context so external reads *and*
+# swaps (`ex.router = ...`, `ex.event_log = ...`) keep facade and kernel
+# coherent.
+for _name in (
+    "query",
+    "stems",
+    "router",
+    "meter",
+    "arrival_rates",
+    "domain_bits",
+    "config",
+    "estimator",
+    "stats",
+    "output_sink",
+    "event_log",
+    "fault_injector",
+    "invariant_checker",
+    "degradation",
+    "metrics",
+):
+    setattr(AMRExecutor, _name, _context_delegate(_name))
+del _name

@@ -1,0 +1,169 @@
+"""The engine's shared run state and its cost-attribution plumbing.
+
+An :class:`EngineContext` is everything a tick touches, gathered into one
+explicit object instead of executor instance attributes: the query, the
+per-stream states, the routing policy, the virtual clock, run statistics,
+the backlog queue, and the optional observability/robustness attachments
+(event log, fault injector, invariant checker, degradation policy, metrics
+registry).  Stages receive the context and nothing else — there is no
+hidden executor state left for a stage to reach around.
+
+The ``_spend`` cost-attribution invariant lives here **by construction**:
+:meth:`EngineContext.spend` is the only place in the kernel that touches
+``meter.spend``, and it attributes the identical float to the metrics
+registry immediately after charging the clock — so the attributed grand
+total equals ``meter.total_spent`` bit-for-bit whenever a registry is
+attached (``tests/engine/test_kernel.py`` asserts no stage bypasses it).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import MetricsRegistry, Span
+from repro.engine.query import Query
+from repro.engine.resources import (
+    DegradationPolicy,
+    MemoryBreakdown,
+    ResourceMeter,
+)
+from repro.engine.router import Router
+from repro.engine.stats import RunStats, SelectivityEstimator
+from repro.engine.stem import SteM
+from repro.engine.tuples import StreamTuple
+
+
+def index_kind_label(index: object) -> str:
+    """A stable ``index_kind`` label: snake-cased class name sans ``Index``.
+
+    ``BitAddressIndex → bit_address``, ``MultiHashIndex → multi_hash``,
+    ``ScanIndex → scan`` — derived, so extension indexes label themselves.
+    """
+    name = type(index).__name__
+    name = name.removesuffix("Index") or name
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+@dataclass
+class EngineContext:
+    """Every piece of state one engine run reads and writes.
+
+    Satisfies the :class:`~repro.engine.faults.InvariantChecker` host
+    protocol (``stems``, ``meter``, ``stats``, ``backlog``,
+    ``_memory_breakdown``), so a bare kernel can be invariant-checked
+    without the executor facade.
+    """
+
+    query: Query
+    stems: dict[str, SteM]
+    router: Router
+    meter: ResourceMeter
+    arrival_rates: dict[str, float]
+    domain_bits: dict[str, int]
+    config: object  # ExecutorConfig (kept loose to avoid an import cycle)
+    estimator: SelectivityEstimator = field(default_factory=SelectivityEstimator)
+    stats: RunStats = field(default_factory=RunStats)
+    output_sink: object | None = None  # callable(list[JoinedTuple]) or None
+    event_log: object | None = None  # repro.engine.tracing.EventLog or None
+    fault_injector: object | None = None  # repro.engine.faults.FaultInjector or None
+    invariant_checker: object | None = None  # repro.engine.faults.InvariantChecker or None
+    degradation: DegradationPolicy | None = None
+    metrics: MetricsRegistry | None = None
+    queue: deque[StreamTuple] = field(default_factory=deque)
+    # Metrics-only state: open tuple-lifecycle spans keyed by tuple
+    # identity, and the last sampled clock reading (per-tick cost).
+    live_spans: dict[int, Span] = field(default_factory=dict)
+    spent_at_tick_start: float = 0.0
+
+    def __post_init__(self) -> None:
+        missing = set(self.query.stream_names) - set(self.stems)
+        if missing:
+            raise ValueError(f"no SteM configured for streams: {sorted(missing)}")
+        self.n_streams = len(self.query.stream_names)
+
+    # ------------------------------------------------------------------ #
+    # cost plumbing
+
+    def spend(
+        self,
+        cost: float,
+        component: str,
+        *,
+        stream: str | None = None,
+        index_kind: str | None = None,
+        phase: str | None = None,
+    ) -> None:
+        """Charge the virtual clock and attribute the identical float.
+
+        Every kernel charge goes through here: the meter and the metrics
+        registry see the same value in the same order, which is what makes
+        the attributed total equal ``meter.total_spent`` exactly.
+        """
+        self.meter.spend(cost)
+        if self.metrics is not None:
+            self.metrics.charge(
+                cost, component, stream=stream, index_kind=index_kind, phase=phase
+            )
+
+    def stem_cost(self, stem: SteM) -> float:
+        """One state's accumulated index cost on its accountant."""
+        return stem.index.accountant.cost(self.meter.params)
+
+    def total_index_cost(self) -> float:
+        return sum(self.stem_cost(stem) for stem in self.stems.values())
+
+    def stem_costs(self) -> dict[str, float]:
+        """Current accumulated index cost per state (attribution snapshot)."""
+        return {name: self.stem_cost(stem) for name, stem in self.stems.items()}
+
+    def spend_index_deltas(
+        self, before: dict[str, float], *, component: str, phase: str
+    ) -> None:
+        """Charge each state's marginal index cost since ``before``.
+
+        The aggregate spent equals the per-state deltas by construction, so
+        nothing leaks; zero deltas are skipped (no series churn, and adding
+        0.0 would not move the clock anyway).
+        """
+        for name, stem in self.stems.items():
+            delta = self.stem_cost(stem) - before[name]
+            if delta:
+                self.spend(
+                    delta,
+                    component,
+                    stream=name,
+                    index_kind=index_kind_label(stem.index),
+                    phase=phase,
+                )
+
+    # ------------------------------------------------------------------ #
+    # memory accounting
+
+    def memory_breakdown(self) -> MemoryBreakdown:
+        params = self.meter.params
+        payload = sum(stem.payload_bytes for stem in self.stems.values())
+        index = sum(stem.index.memory_bytes for stem in self.stems.values())
+        backlog = len(self.queue) * params.queue_item_bytes
+        stat_entries = 0
+        for stem in self.stems.values():
+            assessor = getattr(stem.tuner, "assessor", None)
+            if assessor is not None:
+                stat_entries += assessor.entry_count
+        return MemoryBreakdown(
+            state_payload=payload,
+            index_structures=index,
+            backlog=backlog,
+            statistics=stat_entries * params.stat_entry_bytes,
+        )
+
+    # Invariant checkers historically probe the executor facade; the same
+    # spelling on the context lets them host a bare kernel.
+    def _memory_breakdown(self) -> MemoryBreakdown:
+        return self.memory_breakdown()
+
+    @property
+    def backlog(self) -> int:
+        """Queued-but-unprocessed source tuples."""
+        return len(self.queue)

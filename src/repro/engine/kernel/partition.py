@@ -1,0 +1,207 @@
+"""Partitioned execution: K independent kernels over hash-split streams.
+
+:class:`PartitionedEngine` runs K full engines side by side, each seeing a
+value-hash slice of every stream's arrivals, and merges their run
+statistics, event timelines, and metrics snapshots deterministically.
+Partition-local joins are the standard data-parallel approximation:
+partitioning on a shared join attribute keeps them exact; the default
+whole-tuple partitioner trades completeness for parallelism, as parallel
+stream joins do.
+
+Determinism is the design constraint throughout:
+
+- Partitioning uses :func:`default_partitioner` (CRC-32 over a canonical
+  byte encoding of the tuple's values) — **never** Python's ``hash()``,
+  which is salted per process and would break pool reproducibility.
+- Each partition gets its *own* fresh arrivals generator (the synthetic
+  generators are stateful RNG streams) built from the same seed, so every
+  partition sees the identical global arrival sequence and keeps only its
+  slice — running partitions serially, in any order, or in a process pool
+  yields the same per-partition runs.
+- ``k == 1`` bypasses filtering entirely: the single partition is
+  bit-for-bit the unpartitioned engine (asserted by the partition suite
+  against the golden fingerprints).
+- Merging is pure and order-defined: counters sum, the earliest partition
+  death wins, per-tick samples combine last-known values, and span ids are
+  re-based per partition so merged traces keep unique, stable ids.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+
+from repro.engine.stats import RunStats, ThroughputSample
+from repro.engine.tracing import EngineEvent
+from repro.engine.tuples import StreamTuple
+from repro.utils.validation import check_positive
+
+#: RunStats fields merged by summation.
+_SUMMED_FIELDS = (
+    "outputs",
+    "source_tuples",
+    "filtered",
+    "probes",
+    "matches",
+    "migrations",
+    "tuning_rounds",
+    "faults_injected",
+    "shed_tuples",
+    "degradations",
+)
+
+
+def default_partitioner(k: int, attributes: Sequence[str] | None = None):
+    """A stable value-hash partitioner: ``StreamTuple -> [0, k)``.
+
+    Hashes a canonical encoding of the tuple's attribute values (all of
+    them, or just ``attributes`` — pass the join key to make
+    partition-local joins exact) with CRC-32, which is identical across
+    processes and Python invocations, unlike the salted builtin ``hash``.
+    """
+    check_positive("k", k)
+
+    def partition(item: StreamTuple) -> int:
+        keys = sorted(item) if attributes is None else attributes
+        payload = "\x1f".join(f"{key}={item[key]!r}" for key in keys)
+        return zlib.crc32(payload.encode("utf-8")) % k
+
+    return partition
+
+
+def merge_run_stats(parts: Sequence[RunStats]) -> RunStats:
+    """Deterministically fold per-partition :class:`RunStats` into one.
+
+    Counters sum; the earliest death across partitions becomes the merged
+    death (reason prefixed with its partition); the sample series is
+    rebuilt on the union of sample ticks, summing each partition's
+    last-known value at that tick (partitions that died early contribute
+    their final reading onward, so merged memory/backlog stay honest).
+    """
+    if not parts:
+        return RunStats()
+    merged = RunStats()
+    for name in _SUMMED_FIELDS:
+        setattr(merged, name, sum(getattr(s, name) for s in parts))
+    deaths = [
+        (s.died_at, i, s.death_reason)
+        for i, s in enumerate(parts)
+        if s.died_at is not None
+    ]
+    if deaths:
+        died_at, index, reason = min(deaths)
+        merged.died_at = died_at
+        merged.death_reason = f"partition {index}: {reason}"
+    ticks = sorted({sample.tick for s in parts for sample in s.samples})
+    cursors = [0] * len(parts)
+    last: list[ThroughputSample | None] = [None] * len(parts)
+    for tick in ticks:
+        for i, s in enumerate(parts):
+            while cursors[i] < len(s.samples) and s.samples[cursors[i]].tick <= tick:
+                last[i] = s.samples[cursors[i]]
+                cursors[i] += 1
+        known = [sample for sample in last if sample is not None]
+        merged.samples.append(
+            ThroughputSample(
+                tick=tick,
+                outputs=sum(sample.outputs for sample in known),
+                cost_spent=sum(sample.cost_spent for sample in known),
+                memory_bytes=sum(sample.memory_bytes for sample in known),
+                backlog=sum(sample.backlog for sample in known),
+            )
+        )
+    return merged
+
+
+def merge_event_timelines(
+    timelines: Sequence[Sequence[EngineEvent]],
+) -> list[tuple[int, EngineEvent]]:
+    """One chronological timeline of ``(partition, event)`` pairs.
+
+    Stable: ordered by tick, then partition index, then each partition's
+    own recording order — the same input always merges to the same list.
+    """
+    tagged = [
+        (event.tick, part, seq, event)
+        for part, events in enumerate(timelines)
+        for seq, event in enumerate(events)
+    ]
+    tagged.sort(key=lambda t: t[:3])
+    return [(part, event) for _, part, _, event in tagged]
+
+
+class PartitionedEngine:
+    """K independent engines over hash-partitioned arrivals.
+
+    Parameters
+    ----------
+    executor_factory:
+        ``partition_index -> engine`` building one fully-wired engine
+        (typically an :class:`~repro.engine.executor.AMRExecutor`) per
+        partition.  Each partition must get its own states, meter, and
+        (if any) metrics registry / event log — nothing may be shared.
+    k:
+        Partition count.  ``k == 1`` is the identity: arrivals are not
+        filtered and the run is bit-for-bit the unpartitioned engine.
+    partitioner:
+        ``StreamTuple -> [0, k)``; defaults to :func:`default_partitioner`.
+    """
+
+    def __init__(self, executor_factory, k: int, *, partitioner=None) -> None:
+        check_positive("k", k)
+        self.k = k
+        self.executors = [executor_factory(i) for i in range(k)]
+        self.partitioner = (
+            partitioner if partitioner is not None else default_partitioner(k)
+        )
+        self.partition_stats: list[RunStats] = []
+
+    def run(self, duration: int, arrivals_factory) -> RunStats:
+        """Run every partition for ``duration`` ticks and merge the stats.
+
+        ``arrivals_factory`` is a zero-argument callable returning a fresh
+        ``tick -> list[StreamTuple]`` arrivals source.  A *factory*, not a
+        shared source: synthetic generators are stateful (their per-stream
+        RNGs advance on every call), so each partition replays its own
+        copy of the full arrival sequence and keeps its slice.
+        """
+        if self.k == 1:
+            stats = self.executors[0].run(duration, arrivals_factory())
+            self.partition_stats = [stats]
+            return stats
+        self.partition_stats = []
+        for index, executor in enumerate(self.executors):
+            arrivals = arrivals_factory()
+
+            def sliced(tick: int, _arrivals=arrivals, _index=index):
+                return [
+                    item for item in _arrivals(tick) if self.partitioner(item) == _index
+                ]
+
+            self.partition_stats.append(executor.run(duration, sliced))
+        return merge_run_stats(self.partition_stats)
+
+    def merged_snapshot(self):
+        """Merged metrics snapshot across partitions with registries.
+
+        Returns ``None`` when no partition has a metrics registry attached
+        (mirroring the single-engine convention that metrics are opt-in).
+        """
+        from repro.engine.metrics import merge_snapshots
+
+        snapshots = [
+            executor.metrics.snapshot()
+            for executor in self.executors
+            if getattr(executor, "metrics", None) is not None
+        ]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
+
+    def merged_events(self) -> list[tuple[int, EngineEvent]]:
+        """Merged ``(partition, event)`` timeline across attached logs."""
+        timelines = []
+        for executor in self.executors:
+            log = getattr(executor, "event_log", None)
+            timelines.append(list(log) if log is not None else [])
+        return merge_event_timelines(timelines)

@@ -1,0 +1,105 @@
+"""Pluggable backlog-drain schedulers.
+
+The kernel drains the backlog while the tick's cost-unit capacity lasts;
+*which* queued search request runs next is a policy, and different
+policies trade latency fairness against per-stream starvation.  The
+:class:`Scheduler` protocol isolates that decision:
+
+- :class:`FifoScheduler` — drain in global arrival order.  This is the
+  historical monolith behaviour, preserved bit-for-bit (it is the default
+  the golden-equivalence suite pins).
+- :class:`BacklogAwareScheduler` — serve the stream with the deepest
+  backlog first (oldest request of that stream), so one slow-indexed
+  stream cannot starve while its state balloons.  Deterministic: ties
+  break toward the stream whose oldest request arrived earliest.
+
+Schedulers operate directly on ``ctx.queue`` (the single source of truth
+that memory audits, shedding, and invariant checks also read), so every
+policy composes with graceful degradation unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.engine.kernel.context import EngineContext
+from repro.engine.tuples import StreamTuple
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Chooses the next backlogged search request to execute.
+
+    ``select`` is called only when ``ctx.queue`` is non-empty; it must
+    remove the chosen tuple from the queue and return it.  Implementations
+    must be deterministic — the engine's reproducibility guarantees extend
+    to scheduling decisions.
+    """
+
+    name: str
+
+    def select(self, ctx: EngineContext) -> StreamTuple: ...
+
+
+class FifoScheduler:
+    """Drain in global arrival order (the classic monolith policy)."""
+
+    name = "fifo"
+
+    def select(self, ctx: EngineContext) -> StreamTuple:
+        return ctx.queue.popleft()
+
+
+class BacklogAwareScheduler:
+    """Serve the deepest per-stream backlog first, oldest request first.
+
+    Each selection scans the queue once to count per-stream depth and picks
+    the oldest request of the deepest stream (first-occurrence order breaks
+    ties, so equal-depth streams are served round-robin by age).  O(n) per
+    selection against the backlog length — the backlog is bounded by
+    shedding and memory budgets, and the scan does no index work, so the
+    virtual clock is untouched (scheduling is charged as routing, exactly
+    like the FIFO policy).
+    """
+
+    name = "backlog"
+
+    def select(self, ctx: EngineContext) -> StreamTuple:
+        queue = ctx.queue
+        counts: dict[str, int] = {}
+        for item in queue:
+            counts[item.stream] = counts.get(item.stream, 0) + 1
+        best_stream: str | None = None
+        best_count = 0
+        for item in queue:  # first-occurrence order == oldest-request order
+            count = counts[item.stream]
+            if best_stream is None or count > best_count:
+                best_stream, best_count = item.stream, count
+        for i, item in enumerate(queue):
+            if item.stream == best_stream:
+                del queue[i]
+                return item
+        raise RuntimeError("unreachable: queue emptied during selection")
+
+
+#: Named schedulers selectable from harnesses and the CLI (``--scheduler``).
+SCHEDULERS: dict[str, type] = {
+    "fifo": FifoScheduler,
+    "backlog": BacklogAwareScheduler,
+}
+
+
+def resolve_scheduler(scheduler: "Scheduler | str | None") -> Scheduler:
+    """Accept a scheduler, a registry name, or ``None`` (→ FIFO)."""
+    if scheduler is None:
+        return FifoScheduler()
+    if isinstance(scheduler, str):
+        try:
+            return SCHEDULERS[scheduler]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {sorted(SCHEDULERS)}"
+            ) from None
+    if not isinstance(scheduler, Scheduler):
+        raise TypeError(f"not a Scheduler: {scheduler!r}")
+    return scheduler

@@ -26,7 +26,6 @@ from repro.experiments.reporting import (
     format_summary,
     format_table,
     format_throughput_figure,
-    improvement_pct,
 )
 from repro.workloads.scenarios import PaperScenario, ScenarioParams
 

@@ -21,6 +21,7 @@ from repro.core.access_pattern import AccessPattern
 from repro.core.cost_model import WorkloadStatistics
 from repro.core.index_config import IndexConfiguration
 from repro.core.selector import pad_patterns_to_k, select_exhaustive, select_hash_patterns
+from repro.engine.kernel import PartitionedEngine
 from repro.engine.stats import RunStats
 from repro.workloads.scenarios import PaperScenario
 
@@ -126,6 +127,60 @@ def run_scheme(
     )
     generator = scenario.make_generator(seed_offset=seed_offset)
     return executor.run(duration, generator)
+
+
+def run_scheme_partitioned(
+    scenario: PaperScenario,
+    scheme: str,
+    duration: int,
+    *,
+    partitions: int,
+    training: TrainingResult | None = None,
+    hash_k: int | None = None,
+    seed_offset: int = 0,
+    partitioner=None,
+    **executor_overrides,
+) -> tuple[RunStats, PartitionedEngine]:
+    """Execute one scheme across ``partitions`` independent kernels.
+
+    Each partition is a fully-wired executor (own states, meter, and —
+    if factories are passed via ``executor_overrides`` — own event log /
+    metrics registry) seeing a hash slice of the measured workload; the
+    merged :class:`RunStats` plus the engine (for per-partition stats,
+    merged events, and merged snapshots) are returned.
+
+    ``partitions == 1`` is bit-for-bit :func:`run_scheme` — the engine
+    skips arrival filtering entirely.
+
+    Per-partition attachments: ``event_log=`` / ``metrics=`` overrides may
+    be zero-argument *factories* instead of instances; each partition then
+    gets a fresh object (instances would be shared, which partitioning
+    forbids for anything stateful).
+    """
+    initial_configs = training.configs if training is not None else None
+    initial_hash = None
+    if training is not None and scheme.startswith("hash:"):
+        k = int(scheme.split(":", 1)[1]) if hash_k is None else hash_k
+        initial_hash = training.hash_patterns(k)
+
+    def build(_index: int):
+        overrides = dict(executor_overrides)
+        for attachment in ("event_log", "metrics"):
+            factory = overrides.get(attachment)
+            if callable(factory):
+                overrides[attachment] = factory()
+        return scenario.make_executor(
+            scheme,
+            initial_configs=initial_configs,
+            initial_hash_patterns=initial_hash,
+            **overrides,
+        )
+
+    engine = PartitionedEngine(build, partitions, partitioner=partitioner)
+    stats = engine.run(
+        duration, lambda: scenario.make_generator(seed_offset=seed_offset)
+    )
+    return stats, engine
 
 
 def run_comparison(

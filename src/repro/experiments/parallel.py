@@ -19,9 +19,14 @@ worker or in-process (``workers=0``), which the tests assert.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.engine.metrics import MetricsRegistry, RegistrySnapshot
+from repro.engine.kernel import (
+    default_partitioner,
+    merge_event_timelines,
+    merge_run_stats,
+)
+from repro.engine.metrics import MetricsRegistry, RegistrySnapshot, merge_snapshots
 from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
@@ -55,6 +60,8 @@ class RunSpec:
     fault_seed: int = 0
     degrade: bool = False
     collect_metrics: bool = False
+    scheduler: str | None = None  # backlog-drain policy name (None = fifo)
+    partitions: int = 1  # independent hash-partitioned kernels per run
 
     def display_label(self) -> str:
         """The spec's name in result listings."""
@@ -75,14 +82,90 @@ class RunOutcome:
     stats: RunStats
     events: tuple[EngineEvent, ...] = ()
     metrics: RegistrySnapshot | None = None
+    partition_stats: tuple[RunStats, ...] = ()
 
     @property
     def outputs(self) -> int:
         return self.stats.outputs
 
 
+_PartitionResult = tuple[RunStats, tuple[EngineEvent, ...], RegistrySnapshot | None]
+
+
+def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
+    """Run one partition of one spec, fully rebuilt by value.
+
+    With ``spec.partitions == 1`` the arrivals are unfiltered — this *is*
+    the plain single-engine run.  Otherwise the partition sees the hash
+    slice ``index`` of the identical global arrival sequence (each call
+    builds its own generator, so RNG draws replay exactly regardless of
+    which process or order partitions run in).
+    """
+    scenario = PaperScenario(spec.params)
+    training = (
+        train_initial_state(scenario, train_ticks=spec.train_ticks) if spec.train else None
+    )
+    log = EventLog()
+    registry = MetricsRegistry() if spec.collect_metrics else None
+    initial_configs = training.configs if training is not None else None
+    initial_hash = None
+    if training is not None and spec.scheme.startswith("hash:"):
+        initial_hash = training.hash_patterns(int(spec.scheme.split(":", 1)[1]))
+    executor = scenario.make_executor(
+        spec.scheme,
+        initial_configs=initial_configs,
+        initial_hash_patterns=initial_hash,
+        event_log=log,
+        faults=spec.faults,
+        fault_seed=spec.fault_seed,
+        degradation=DegradationPolicy() if spec.degrade else None,
+        metrics=registry,
+        scheduler=spec.scheduler,
+    )
+    generator = scenario.make_generator(seed_offset=spec.seed_offset)
+    if spec.partitions == 1:
+        arrivals = generator
+    else:
+        partitioner = default_partitioner(spec.partitions)
+
+        def arrivals(tick: int):
+            return [item for item in generator(tick) if partitioner(item) == index]
+
+    stats = executor.run(spec.ticks, arrivals)
+    return stats, tuple(log), registry.snapshot() if registry is not None else None
+
+
+def _execute_partition_task(task: tuple[RunSpec, int]) -> _PartitionResult:
+    """Picklable pool worker: one ``(spec, partition index)`` unit."""
+    return _run_partition(*task)
+
+
+def _merge_outcome(spec: RunSpec, parts: list[_PartitionResult]) -> RunOutcome:
+    """Fold per-partition results into one outcome (deterministic merge)."""
+    snapshots = [snap for _, _, snap in parts if snap is not None]
+    return RunOutcome(
+        spec=spec,
+        stats=merge_run_stats([stats for stats, _, _ in parts]),
+        events=tuple(
+            event
+            for _, event in merge_event_timelines([events for _, events, _ in parts])
+        ),
+        metrics=merge_snapshots(snapshots) if snapshots else None,
+        partition_stats=tuple(stats for stats, _, _ in parts),
+    )
+
+
 def execute_spec(spec: RunSpec) -> RunOutcome:
-    """Run one spec to completion (used directly and as the pool worker)."""
+    """Run one spec to completion (used directly and as the pool worker).
+
+    ``spec.partitions > 1`` runs every partition in-process, serially, and
+    merges — byte-identical to the pool-per-partition path
+    (:func:`execute_spec_partitioned`), which the partition suite asserts.
+    """
+    if spec.partitions > 1:
+        return _merge_outcome(
+            spec, [_run_partition(spec, i) for i in range(spec.partitions)]
+        )
     scenario = PaperScenario(spec.params)
     training = (
         train_initial_state(scenario, train_ticks=spec.train_ticks) if spec.train else None
@@ -100,13 +183,33 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         fault_seed=spec.fault_seed,
         degradation=DegradationPolicy() if spec.degrade else None,
         metrics=registry,
+        scheduler=spec.scheduler,
     )
     return RunOutcome(
         spec=spec,
         stats=stats,
         events=tuple(log),
         metrics=registry.snapshot() if registry is not None else None,
+        partition_stats=(stats,),
     )
+
+
+def execute_spec_partitioned(spec: RunSpec, *, workers: int = 4) -> RunOutcome:
+    """Run one partitioned spec with each partition in its own process.
+
+    Partitions are independent engines over disjoint arrival slices, so
+    they parallelise like separate specs; results merge in partition order
+    and are identical to the serial :func:`execute_spec` path.  ``workers=0``
+    (or a single partition) falls back to the in-process path.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0 or spec.partitions == 1:
+        return execute_spec(spec)
+    tasks = [(spec, index) for index in range(spec.partitions)]
+    with ProcessPoolExecutor(max_workers=min(workers, spec.partitions)) as pool:
+        parts = list(pool.map(_execute_partition_task, tasks))
+    return _merge_outcome(spec, parts)
 
 
 def run_parallel(specs: list[RunSpec], *, workers: int = 4) -> list[RunOutcome]:

@@ -24,6 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.engine.kernel import SCHEDULERS
 from repro.engine.metrics import MetricsRegistry, RegistrySnapshot
 from repro.engine.metrics_export import FORMATS, write_metrics, write_trace
 from repro.engine.resources import DegradationPolicy
@@ -47,6 +48,7 @@ def profile_scheme(
     train: bool = True,
     train_ticks: int = 80,
     degrade: bool = False,
+    scheduler: str | None = None,
     flight_recorder_capacity: int = 4096,
 ) -> tuple[RunStats, RegistrySnapshot, float]:
     """Run one scheme with a registry attached; return (stats, snapshot,
@@ -65,6 +67,7 @@ def profile_scheme(
         event_log=EventLog(),
         degradation=DegradationPolicy() if degrade else None,
         metrics=registry,
+        scheduler=scheduler,
     )
     stats = executor.run(ticks, scenario.make_generator())
     return stats, registry.snapshot(), executor.meter.total_spent
@@ -94,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-train", action="store_true", help="skip quasi-training")
     parser.add_argument("--train-ticks", type=int, default=80)
     parser.add_argument("--degrade", action="store_true", help="graceful degradation")
+    parser.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="fifo",
+        help="backlog-drain policy",
+    )
     parser.add_argument("--metrics", type=Path, default=None, help="export snapshot to PATH")
     parser.add_argument(
         "--format", choices=FORMATS, default="jsonl", help="--metrics export format"
@@ -112,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
             train=not args.no_train,
             train_ticks=args.train_ticks,
             degrade=args.degrade,
+            scheduler=args.scheduler,
         )
     except (ValueError, KeyError) as exc:
         print(f"profile failed: {exc}", file=sys.stderr)

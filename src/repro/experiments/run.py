@@ -28,12 +28,13 @@ import sys
 from pathlib import Path
 
 from repro.engine.faults import FAULT_PROFILES
+from repro.engine.kernel import SCHEDULERS
 from repro.engine.metrics import MetricsRegistry, RegistrySnapshot
 from repro.engine.metrics_export import write_metrics, write_trace
 from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
-from repro.experiments.harness import run_scheme, train_initial_state
+from repro.experiments.harness import run_scheme, run_scheme_partitioned, train_initial_state
 from repro.experiments.reporting import (
     format_component_breakdown,
     format_fault_timeline,
@@ -108,7 +109,7 @@ def write_events_csv(path: Path, events_by_scheme: dict[str, list[EngineEvent]])
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(prog="repro run", description=__doc__)
     parser.add_argument(
         "--schemes",
         default="amri:cdia-highest,static",
@@ -135,6 +136,18 @@ def main(argv: list[str] | None = None) -> int:
         help="shed backlog / fall back to scan under memory pressure instead of dying",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="fifo",
+        help="backlog-drain policy (fifo = historical arrival order)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="hash-partition each scheme across K independent kernels (1 = off)",
+    )
+    parser.add_argument(
         "--metrics",
         type=Path,
         default=None,
@@ -147,6 +160,8 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for per-scheme flight-recorder span exports (JSONL)",
     )
     args = parser.parse_args(argv)
+    if args.partitions < 1:
+        parser.error(f"--partitions must be >= 1, got {args.partitions}")
 
     scenario = build_scenario(args.scenario, args.seed)
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
@@ -160,6 +175,26 @@ def main(argv: list[str] | None = None) -> int:
     events: dict[str, list[EngineEvent]] = {}
     snapshots: dict[str, RegistrySnapshot] = {}
     for scheme in schemes:
+        if args.partitions > 1:
+            # Per-partition attachments go in as factories: every kernel
+            # gets its own log/registry, merged deterministically after.
+            runs[scheme], engine = run_scheme_partitioned(
+                scenario,
+                scheme,
+                args.ticks,
+                partitions=args.partitions,
+                training=training,
+                event_log=EventLog,
+                faults=faults,
+                fault_seed=args.fault_seed,
+                degradation=degradation,
+                metrics=MetricsRegistry if want_metrics else None,
+                scheduler=args.scheduler,
+            )
+            events[scheme] = [event for _, event in engine.merged_events()]
+            if want_metrics:
+                snapshots[scheme] = engine.merged_snapshot()
+            continue
         log = EventLog()
         registry = MetricsRegistry() if want_metrics else None
         runs[scheme] = run_scheme(
@@ -172,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
             fault_seed=args.fault_seed,
             degradation=degradation,
             metrics=registry,
+            scheduler=args.scheduler,
         )
         events[scheme] = list(log)
         if registry is not None:

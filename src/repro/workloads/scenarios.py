@@ -21,13 +21,13 @@ factory methods that assemble an executor for any index scheme:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.access_pattern import AccessPattern
 from repro.core.assessment import CDIA, make_assessor
 from repro.core.bit_index import BitAddressIndex
 from repro.core.index_config import IndexConfiguration, uniform_configuration
-from repro.core.selector import IndexSelector, select_hash_patterns
+from repro.core.selector import IndexSelector
 from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner
 from repro.engine.executor import AMRExecutor, ExecutorConfig
 from repro.engine.faults import FaultInjector, FaultPlan, resolve_fault_plan
@@ -270,6 +270,7 @@ class PaperScenario:
         invariant_checker=None,
         degradation: DegradationPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        scheduler=None,
     ) -> AMRExecutor:
         """A ready-to-run executor for the named scheme.
 
@@ -282,6 +283,10 @@ class PaperScenario:
         ``metrics`` attaches a :class:`~repro.engine.metrics.MetricsRegistry`
         for cost-unit attribution and span tracing; omitted, every
         instrumentation hook is a no-op (observer-effect-free).
+
+        ``scheduler`` picks the backlog-drain policy (a
+        :class:`~repro.engine.kernel.Scheduler` or a registry name such as
+        ``"fifo"``/``"backlog"``); ``None`` keeps the historical FIFO drain.
         """
         p = self.params
         stems = self.build_stems(
@@ -320,6 +325,7 @@ class PaperScenario:
             invariant_checker=invariant_checker,
             degradation=degradation,
             metrics=metrics,
+            scheduler=scheduler,
         )
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core.access_pattern import AccessPattern, JoinAttributeSet
 from repro.core.assessment import CDIA, SRIA
 from repro.core.bit_index import make_bit_index
-from repro.core.index_config import IndexConfiguration
 from repro.core.selector import IndexSelector
 from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner, TuningContext
 from repro.indexes.hash_index import MultiHashIndex

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.access_pattern import AccessPattern, JoinAttributeSet
 from repro.core.bit_index import BitAddressIndex
 from repro.core.index_config import IndexConfiguration
 from repro.core.value_mapping import (

@@ -1,0 +1,336 @@
+"""Tests for the staged engine kernel (context, stages, schedulers, facade)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.assessment import SRIA
+from repro.core.bit_index import make_bit_index
+from repro.core.tuner import NullTuner
+from repro.engine.executor import AMRExecutor, ExecutorConfig
+from repro.engine.kernel import (
+    SCHEDULERS,
+    ArrivalStage,
+    AuditStage,
+    BacklogAwareScheduler,
+    EngineContext,
+    EngineKernel,
+    ExpiryStage,
+    FifoScheduler,
+    RouteProbeStage,
+    Scheduler,
+    resolve_scheduler,
+)
+from repro.engine.query import JoinPredicate, Query
+from repro.engine.resources import ResourceMeter
+from repro.engine.router import FixedRouter
+from repro.engine.stem import SteM
+from repro.engine.stream import StreamSchema
+from repro.engine.tracing import EventLog
+from repro.engine.tuples import StreamTuple
+
+ENGINE_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "engine"
+
+
+def two_stream_query(window=5):
+    streams = [StreamSchema("A", ("k", "pa")), StreamSchema("B", ("k", "pb"))]
+    return Query(streams, [JoinPredicate("A", "k", "B", "k")], window=window)
+
+
+def make_parts(query=None, *, capacity=1e9, memory_budget=1 << 30):
+    query = query if query is not None else two_stream_query()
+    stems = {}
+    for s in query.stream_names:
+        jas = query.jas_for(s)
+        stems[s] = SteM(
+            s,
+            jas,
+            make_bit_index(jas, [4] * len(jas)),
+            query.window,
+            NullTuner(SRIA(jas)),
+        )
+    router = FixedRouter(
+        {s: [t for t in query.stream_names if t != s] for s in query.stream_names}
+    )
+    meter = ResourceMeter(capacity=capacity, memory_budget=memory_budget)
+    return query, stems, router, meter
+
+
+def make_executor(**kwargs):
+    query, stems, router, meter = make_parts()
+    return AMRExecutor(
+        query,
+        stems,
+        router,
+        meter,
+        arrival_rates={s: 1.0 for s in query.stream_names},
+        **kwargs,
+    )
+
+
+def arrivals_from(plan):
+    def gen(tick):
+        return [StreamTuple(s, tick, v) for s, v in plan.get(tick, [])]
+
+    return gen
+
+
+class TestSpendInvariant:
+    """The _spend invariant holds *by construction*: exactly one call site
+    touches the meter, and it attributes the identical float."""
+
+    def kernel_sources(self):
+        files = [ENGINE_DIR / "executor.py"]
+        files += sorted((ENGINE_DIR / "kernel").glob("*.py"))
+        return {f: f.read_text() for f in files}
+
+    def test_meter_spend_called_only_in_context(self):
+        hits = {
+            f.name: src.count("meter.spend(")
+            for f, src in self.kernel_sources().items()
+            if "meter.spend(" in src
+        }
+        assert hits == {"context.py": 1}, (
+            f"meter.spend must be called only by EngineContext.spend, found {hits}"
+        )
+
+    def test_metrics_charge_called_only_in_context(self):
+        hits = {
+            f.name: src.count("metrics.charge(")
+            for f, src in self.kernel_sources().items()
+            if "metrics.charge(" in src
+        }
+        assert hits == {"context.py": 1}, (
+            f"metrics.charge must be paired with meter.spend in EngineContext.spend, found {hits}"
+        )
+
+
+class TestEngineContext:
+    def test_rejects_missing_stem(self):
+        query, stems, router, meter = make_parts()
+        del stems["B"]
+        with pytest.raises(ValueError, match="no SteM configured"):
+            EngineContext(
+                query=query,
+                stems=stems,
+                router=router,
+                meter=meter,
+                arrival_rates={},
+                domain_bits={},
+                config=ExecutorConfig(),
+            )
+
+    def test_spend_moves_clock_and_attribution_identically(self):
+        from repro.engine.metrics import MetricsRegistry
+
+        query, stems, router, meter = make_parts()
+        registry = MetricsRegistry()
+        ctx = EngineContext(
+            query=query,
+            stems=stems,
+            router=router,
+            meter=meter,
+            arrival_rates={},
+            domain_bits={},
+            config=ExecutorConfig(),
+            metrics=registry,
+        )
+        meter.start_tick()
+        for cost in (0.1, 0.2, 0.7, 12.5):
+            ctx.spend(cost, "index", stream="A")
+        assert registry.cost_total == meter.total_spent  # bit-for-bit
+
+    def test_backlog_matches_queue(self):
+        query, stems, router, meter = make_parts()
+        ctx = EngineContext(
+            query=query,
+            stems=stems,
+            router=router,
+            meter=meter,
+            arrival_rates={},
+            domain_bits={},
+            config=ExecutorConfig(),
+        )
+        ctx.queue.append(StreamTuple("A", 0, {"k": 1, "pa": 0}))
+        assert ctx.backlog == 1
+        assert ctx._memory_breakdown().backlog == meter.params.queue_item_bytes
+
+
+class TestBareKernel:
+    """The kernel runs without the facade — context + stages is a full engine."""
+
+    def test_bare_kernel_matches_facade(self):
+        plan = {
+            0: [("A", {"k": 1, "pa": 0})],
+            1: [("B", {"k": 1, "pb": 0}), ("A", {"k": 2, "pa": 1})],
+            3: [("B", {"k": 2, "pb": 1})],
+        }
+        ex = make_executor()
+        facade_stats = ex.run(5, arrivals_from(plan))
+
+        query, stems, router, meter = make_parts()
+        ctx = EngineContext(
+            query=query,
+            stems=stems,
+            router=router,
+            meter=meter,
+            arrival_rates={s: 1.0 for s in query.stream_names},
+            domain_bits={},
+            config=ExecutorConfig(),
+        )
+        kernel_stats = EngineKernel(ctx).run(5, arrivals_from(plan))
+        assert kernel_stats.outputs == facade_stats.outputs == 2
+        assert kernel_stats.probes == facade_stats.probes
+        assert kernel_stats.samples == facade_stats.samples
+
+    def test_custom_pipeline_subset(self):
+        """A pipeline without tuning/faults/degradation still joins."""
+        query, stems, router, meter = make_parts()
+        ctx = EngineContext(
+            query=query,
+            stems=stems,
+            router=router,
+            meter=meter,
+            arrival_rates={},
+            domain_bits={},
+            config=ExecutorConfig(),
+        )
+        stages = (ArrivalStage(), ExpiryStage(), RouteProbeStage(), AuditStage())
+        plan = {0: [("A", {"k": 1, "pa": 0})], 1: [("B", {"k": 1, "pb": 0})]}
+        stats = EngineKernel(ctx, stages).run(3, arrivals_from(plan))
+        assert stats.outputs == 1
+        assert stats.tuning_rounds == 0
+
+    def test_bare_kernel_hosts_invariant_checker(self):
+        from repro.engine.faults import InvariantChecker
+
+        query, stems, router, meter = make_parts()
+        checker = InvariantChecker()
+        ctx = EngineContext(
+            query=query,
+            stems=stems,
+            router=router,
+            meter=meter,
+            arrival_rates={},
+            domain_bits={},
+            config=ExecutorConfig(),
+            invariant_checker=checker,
+        )
+        EngineKernel(ctx).run(4, arrivals_from({0: [("A", {"k": 1, "pa": 0})]}))
+        assert checker.ticks_checked == 4
+
+
+class TestFacade:
+    def test_exposes_kernel_parts(self):
+        ex = make_executor()
+        assert isinstance(ex.context, EngineContext)
+        assert len(ex.stages) == 7
+        assert isinstance(ex.kernel, EngineKernel)
+
+    def test_attribute_writes_reach_the_context(self):
+        ex = make_executor()
+        log = EventLog()
+        ex.event_log = log
+        assert ex.context.event_log is log
+        router = FixedRouter({"A": ["B"], "B": ["A"]})
+        ex.router = router
+        assert ex.context.router is router
+
+    def test_queue_alias_is_the_context_queue(self):
+        ex = make_executor()
+        assert ex._queue is ex.context.queue
+        assert ex._n_streams == 2
+
+    def test_scheduler_kwarg_selects_pipeline_policy(self):
+        ex = make_executor(scheduler="backlog")
+        probe = next(s for s in ex.stages if isinstance(s, RouteProbeStage))
+        assert isinstance(probe.scheduler, BacklogAwareScheduler)
+
+
+class TestSchedulers:
+    def test_resolve_defaults_to_fifo(self):
+        assert isinstance(resolve_scheduler(None), FifoScheduler)
+        assert isinstance(resolve_scheduler("fifo"), FifoScheduler)
+        assert isinstance(resolve_scheduler("backlog"), BacklogAwareScheduler)
+
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            resolve_scheduler("lifo")
+
+    def test_resolve_rejects_non_scheduler(self):
+        with pytest.raises(TypeError):
+            resolve_scheduler(42)
+
+    def test_instances_pass_through(self):
+        sched = BacklogAwareScheduler()
+        assert resolve_scheduler(sched) is sched
+
+    def test_registry_names_match_protocol(self):
+        for name, cls in SCHEDULERS.items():
+            instance = cls()
+            assert isinstance(instance, Scheduler)
+            assert instance.name == name
+
+    def _ctx_with_queue(self, items):
+        query, stems, router, meter = make_parts()
+        ctx = EngineContext(
+            query=query,
+            stems=stems,
+            router=router,
+            meter=meter,
+            arrival_rates={},
+            domain_bits={},
+            config=ExecutorConfig(),
+        )
+        ctx.queue.extend(items)
+        return ctx
+
+    def test_fifo_drains_in_arrival_order(self):
+        a0 = StreamTuple("A", 0, {"k": 1, "pa": 0})
+        b1 = StreamTuple("B", 1, {"k": 1, "pb": 0})
+        ctx = self._ctx_with_queue([a0, b1])
+        sched = FifoScheduler()
+        assert sched.select(ctx) is a0
+        assert sched.select(ctx) is b1
+
+    def test_backlog_aware_serves_deepest_stream_oldest_first(self):
+        a0 = StreamTuple("A", 0, {"k": 1, "pa": 0})
+        b1 = StreamTuple("B", 1, {"k": 1, "pb": 0})
+        b2 = StreamTuple("B", 2, {"k": 2, "pb": 0})
+        ctx = self._ctx_with_queue([a0, b1, b2])
+        sched = BacklogAwareScheduler()
+        assert sched.select(ctx) is b1  # B is deepest; its oldest goes first
+        # Depths now tie at 1 each; the earliest-queued request wins.
+        assert sched.select(ctx) is a0
+        assert sched.select(ctx) is b2
+        assert not ctx.queue
+
+    def test_backlog_scheduler_run_is_deterministic(self):
+        plan = {
+            t: [("A", {"k": t % 3, "pa": 0}), ("B", {"k": t % 3, "pb": 0})]
+            for t in range(8)
+        }
+
+        def run_once():
+            query, stems, router, meter = make_parts(capacity=120.0)
+            ex = AMRExecutor(
+                query,
+                stems,
+                router,
+                meter,
+                arrival_rates={s: 1.0 for s in query.stream_names},
+                scheduler="backlog",
+            )
+            stats = ex.run(8, arrivals_from(plan))
+            return (stats.outputs, stats.probes, stats.matches, tuple(stats.samples))
+
+        assert run_once() == run_once()
+
+    def test_backlog_scheduler_preserves_cost_attribution(self):
+        from repro.engine.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        ex = make_executor(scheduler="backlog", metrics=registry)
+        plan = {0: [("A", {"k": 1, "pa": 0})], 1: [("B", {"k": 1, "pb": 0})]}
+        ex.run(4, arrivals_from(plan))
+        assert registry.snapshot().cost_total == ex.meter.total_spent

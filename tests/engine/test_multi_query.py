@@ -5,7 +5,6 @@ import pytest
 from repro.core.assessment import SRIA
 from repro.core.bit_index import make_bit_index
 from repro.core.tuner import NullTuner
-from repro.engine.executor import ExecutorConfig
 from repro.engine.multi_query import MultiQueryExecutor, QuerySet
 from repro.engine.parser import parse_query
 from repro.engine.resources import ResourceMeter

@@ -138,7 +138,6 @@ class TestEventKindRegistry:
 
 class TestTracedRun:
     def test_executor_records_migrations_and_death(self):
-        from repro.experiments.harness import train_initial_state
         from repro.workloads.scenarios import PaperScenario, ScenarioParams
 
         sc = PaperScenario(ScenarioParams(seed=41))

@@ -1,7 +1,6 @@
 """Tests for the API-docs generator tool."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 TOOL = Path(__file__).resolve().parents[2] / "tools" / "gen_api_docs.py"

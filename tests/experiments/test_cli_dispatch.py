@@ -1,0 +1,97 @@
+"""``python -m repro`` dispatch: exit codes, usage errors, new engine flags."""
+
+import pytest
+
+import repro.__main__ as main_mod
+from repro.experiments import run as run_cli
+
+
+class TestExitCodes:
+    def test_no_args_prints_banner(self, capsys):
+        assert main_mod.main([]) == 0
+        assert "subcommands" in capsys.readouterr().out
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert main_mod.main(["frobnicate"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["run", "profile", "figures"])
+    def test_unknown_flag_exits_2_with_usage_no_traceback(self, command, capsys):
+        rc = main_mod.main([command, "--definitely-not-a-flag"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "usage" in captured.err.lower()
+        assert "Traceback" not in captured.err
+
+    def test_help_flag_exits_0(self, capsys):
+        assert main_mod.main(["run", "--help"]) == 0
+        assert "usage: repro run" in capsys.readouterr().out
+
+    def test_string_system_exit_becomes_usage_error(self, capsys, monkeypatch):
+        """exit("message") from a subcommand prints the message, code 2."""
+
+        class Fake:
+            @staticmethod
+            def main(argv):
+                raise SystemExit("bad invocation")
+
+        monkeypatch.setitem(main_mod.COMMANDS, "fake", "fakemod")
+        monkeypatch.setattr(
+            "importlib.import_module", lambda name: Fake, raising=False
+        )
+        assert main_mod.main(["fake"]) == 2
+        assert "bad invocation" in capsys.readouterr().err
+
+    def test_none_system_exit_is_success(self, monkeypatch):
+        class Fake:
+            @staticmethod
+            def main(argv):
+                raise SystemExit(None)
+
+        monkeypatch.setitem(main_mod.COMMANDS, "fake", "fakemod")
+        monkeypatch.setattr(
+            "importlib.import_module", lambda name: Fake, raising=False
+        )
+        assert main_mod.main(["fake"]) == 0
+
+    def test_exception_in_subcommand_exits_1(self, capsys, monkeypatch):
+        class Fake:
+            @staticmethod
+            def main(argv):
+                raise RuntimeError("boom")
+
+        monkeypatch.setitem(main_mod.COMMANDS, "fake", "fakemod")
+        monkeypatch.setattr(
+            "importlib.import_module", lambda name: Fake, raising=False
+        )
+        assert main_mod.main(["fake"]) == 1
+        assert "boom" in capsys.readouterr().err
+
+
+class TestEngineFlags:
+    def test_bad_scheduler_exits_2(self, capsys):
+        rc = main_mod.main(["run", "--scheduler", "lifo"])
+        assert rc == 2
+        assert "usage" in capsys.readouterr().err.lower()
+
+    def test_partitions_must_be_positive(self, capsys):
+        rc = main_mod.main(["run", "--partitions", "0"])
+        assert rc == 2
+        assert "--partitions must be >= 1" in capsys.readouterr().err
+
+    def test_partitioned_backlog_run_succeeds(self, capsys):
+        rc = run_cli.main(
+            [
+                "--schemes",
+                "scan",
+                "--ticks",
+                "12",
+                "--no-train",
+                "--partitions",
+                "2",
+                "--scheduler",
+                "backlog",
+            ]
+        )
+        assert rc == 0
+        assert "scan" in capsys.readouterr().out

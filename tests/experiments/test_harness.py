@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.harness import (
-    TrainingResult,
     run_comparison,
     run_scheme,
     train_initial_state,

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 import repro.__main__ as main_mod
 from repro.engine.metrics import MetricsRegistry

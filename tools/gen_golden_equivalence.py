@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the golden-equivalence fingerprints.
+
+    PYTHONPATH=src python tools/gen_golden_equivalence.py
+
+Writes ``tests/integration/golden_equivalence.json``: one fingerprint per
+:data:`repro.experiments.golden.CASES` entry, capturing the engine's
+RunStats, event log, and metrics snapshot byte-for-byte.
+
+The committed file was generated from the pre-kernel monolithic
+``AMRExecutor``; ``tests/integration/test_golden_equivalence.py`` holds
+the staged kernel to it.  Only regenerate when run semantics change on
+purpose — a refactor that needs regeneration is not a refactor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.golden import CASES, run_all
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "integration" / "golden_equivalence.json"
+
+
+def main() -> int:
+    fingerprints = run_all()
+    OUT.write_text(json.dumps(fingerprints, indent=1, sort_keys=True) + "\n")
+    total = sum(fp["stats"]["outputs"] for fp in fingerprints.values())
+    print(f"wrote {OUT} ({len(CASES)} cases, {total} total outputs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
