@@ -146,6 +146,9 @@ class BitAddressIndex(StateIndex):
                         del fmap[key[pos]]
             acct.index_bytes -= self._bucket_overhead_bytes()
 
+    def contains(self, item: Mapping[str, object]) -> bool:
+        return id(item) in self._item_keys
+
     def items(self) -> Iterator[Mapping[str, object]]:
         """Iterate every stored item (bucket order)."""
         for bucket in self._buckets.values():

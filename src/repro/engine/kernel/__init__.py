@@ -6,10 +6,11 @@ decomposed into a composition of explicit parts:
 - :class:`EngineContext` — every piece of run state (states, router,
   meter, stats, metrics, fault plan, queue) plus the cost-attribution
   plumbing, in one place;
-- the :class:`Stage` protocol and its seven standard implementations
+- the :class:`Stage` protocol and its standard implementations
   (:class:`ArrivalStage`, :class:`ExpiryStage`, :class:`RouteProbeStage`,
-  :class:`FaultStage`, :class:`TuningStage`, :class:`ShedDegradeStage`,
-  :class:`AuditStage`) — each tick phase is one object with one job;
+  :class:`FaultStage`, :class:`TuningStage`, :class:`MigrationStage`,
+  :class:`ShedDegradeStage`, :class:`AuditStage`) — each tick phase is one
+  object with one job;
 - the :class:`Scheduler` protocol deciding which backlogged search request
   runs next (:class:`FifoScheduler` reproduces the historical
   drain-in-arrival-order policy bit-for-bit; :class:`BacklogAwareScheduler`
@@ -45,6 +46,7 @@ from repro.engine.kernel.stages import (
     AuditStage,
     ExpiryStage,
     FaultStage,
+    MigrationStage,
     RouteProbeStage,
     ShedDegradeStage,
     Stage,
@@ -61,6 +63,7 @@ __all__ = [
     "ExpiryStage",
     "FaultStage",
     "FifoScheduler",
+    "MigrationStage",
     "PartitionedEngine",
     "RouteProbeStage",
     "SCHEDULERS",

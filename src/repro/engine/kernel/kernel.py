@@ -21,6 +21,7 @@ from repro.engine.kernel.stages import (
     AuditStage,
     ExpiryStage,
     FaultStage,
+    MigrationStage,
     RouteProbeStage,
     ShedDegradeStage,
     Stage,
@@ -37,13 +38,19 @@ TICK_COST_BUCKETS = (100.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 20_000.0
 def default_stages(scheduler: Scheduler | str | None = None) -> tuple[Stage, ...]:
     """The canonical pipeline, reproducing the monolithic executor's tick
     order exactly: arrivals → expiry → route/probe → faults → tuning →
-    shed/degrade → audit."""
+    migration → shed/degrade → audit.
+
+    ``MigrationStage`` advances budgeted incremental migrations and is a
+    complete no-op otherwise, so legacy (``migration_budget=None``) runs
+    stay bit-identical to the seven-stage pipeline.
+    """
     return (
         ArrivalStage(),
         ExpiryStage(),
         RouteProbeStage(scheduler),
         FaultStage(),
         TuningStage(),
+        MigrationStage(),
         ShedDegradeStage(),
         AuditStage(),
     )

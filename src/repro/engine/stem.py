@@ -7,133 +7,30 @@ Which physical index backs the state — AMRI's bit-address index, a set of
 hash access modules, or nothing (full scan) — is exactly what the paper
 varies, so the STeM takes any :class:`~repro.indexes.base.StateIndex` plus
 an optional tuner.
+
+Since the storage-layer refactor the STeM is a thin facade over
+:class:`~repro.storage.store.StateStore` (exactly as
+:class:`~repro.engine.executor.AMRExecutor` fronts the staged kernel): the
+window/index/accountant/tuner wiring, capability checks, and the budgeted
+incremental-migration lifecycle all live in :mod:`repro.storage`.  The
+facade keeps the operator name the paper uses and the constructor signature
+the rest of the engine (and downstream code) builds against.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from repro.storage.store import StateStore, Tuner, merge_outcomes
 
-from repro.core.access_pattern import AccessPattern, JoinAttributeSet
-from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner, TuneReport, TuningContext
-from repro.engine.tuples import StreamTuple
-from repro.engine.window import CountWindow, SlidingWindow
-from repro.indexes.base import CostParams, SearchOutcome, StateIndex
-from repro.indexes.scan_index import ScanIndex
-
-Tuner = AMRITuner | HashIndexTuner | NullTuner
+__all__ = ["SteM", "Tuner", "merge_outcomes"]
 
 
-class SteM:
+class SteM(StateStore):
     """One stream's state module: window + index + assessment hook.
 
-    Parameters
-    ----------
-    stream:
-        The stream this state stores.
-    jas:
-        The state's join-attribute set (from the query).
-    index:
-        The physical index over the state.
-    window:
-        Either a window length in time units (builds a time-based
-        :class:`SlidingWindow`) or a ready window object (e.g. a
-        :class:`CountWindow`).
-    tuner:
-        Observes probe patterns and periodically retunes the index;
-        :class:`NullTuner` for non-adapting baselines.
+    A name-preserving facade over :class:`~repro.storage.store.StateStore`
+    — see that class for the parameters and the storage semantics
+    (including ``migration_budget`` for incremental index migration).
     """
-
-    def __init__(
-        self,
-        stream: str,
-        jas: JoinAttributeSet,
-        index: StateIndex,
-        window: int | SlidingWindow | CountWindow,
-        tuner: Tuner | None = None,
-        cost_params: CostParams | None = None,
-    ) -> None:
-        if index.jas != jas:
-            raise ValueError(f"index JAS {index.jas!r} does not match state JAS {jas!r}")
-        self.stream = stream
-        self.jas = jas
-        self.index = index
-        self.window = SlidingWindow(window) if isinstance(window, int) else window
-        self.tuner = tuner if tuner is not None else NullTuner()
-        self.cost_params = cost_params if cost_params is not None else CostParams()
-
-    # ------------------------------------------------------------------ #
-
-    @property
-    def size(self) -> int:
-        """Live tuples in the state."""
-        return self.index.size
-
-    @property
-    def payload_bytes(self) -> int:
-        """Memory held by stored tuple payloads (index overhead excluded)."""
-        return self.size * self.cost_params.tuple_bytes
-
-    def insert(self, item: StreamTuple, now: int) -> None:
-        """Admit one arriving tuple into window and index.
-
-        Count windows may evict on admission; evicted tuples leave the
-        index immediately.
-        """
-        evicted = self.window.add(item, now)
-        self.index.insert(item)
-        for old in evicted:
-            self.index.remove(old)
-
-    def expire(self, now: int) -> int:
-        """Drop tuples whose window has passed; returns how many."""
-        expired = self.window.expire(now)
-        for item in expired:
-            self.index.remove(item)
-        return len(expired)
-
-    def probe(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
-        """Execute one search request against the state.
-
-        Records the request's access pattern with the tuner's assessor —
-        this is where assessment statistics come from.
-        """
-        self.tuner.observe(ap)
-        return self.index.search(ap, values)
-
-    def tune(self, context: TuningContext) -> TuneReport | None:
-        """Run one tuning round (delegates to the tuner)."""
-        return self.tuner.tune(context)
-
-    @property
-    def degraded(self) -> bool:
-        """True once the state has fallen back to an unindexed full scan."""
-        return isinstance(self.index, ScanIndex)
-
-    def degrade_to_scan(self) -> int:
-        """Swap the physical index for the full-scan fallback; returns
-        the number of live tuples relocated.
-
-        The graceful-degradation escape hatch under memory pressure: the
-        index structure's bytes are released (a ``ScanIndex`` keeps only a
-        per-tuple reference) and future probes pay full-scan cost instead.
-        The relocation is charged as ``moves`` on the shared accountant, so
-        the virtual clock sees the rebuild.  Tuning is disabled afterwards
-        (there is no structure left to tune) but the assessor keeps
-        recording, so a later operator can still see what the state is
-        asked for.
-        """
-        if self.degraded:
-            return 0
-        live = list(self.window)
-        acct = self.index.accountant
-        acct.index_bytes = 0  # the old structure is gone wholesale
-        acct.moves += len(live)
-        fallback = ScanIndex(self.jas, acct, self.cost_params)
-        for item in live:
-            fallback.insert(item)
-        self.index = fallback
-        self.tuner = NullTuner(getattr(self.tuner, "assessor", None))
-        return len(live)
 
     def describe(self) -> str:
         """One-line state summary for logs."""

@@ -62,6 +62,8 @@ class RunSpec:
     collect_metrics: bool = False
     scheduler: str | None = None  # backlog-drain policy name (None = fifo)
     partitions: int = 1  # independent hash-partitioned kernels per run
+    index_backend: str | None = None  # registry backend override (None = scheme default)
+    migration_budget: int | None = None  # tuples moved per tick (None = stop-the-world)
 
     def display_label(self) -> str:
         """The spec's name in result listings."""
@@ -121,6 +123,8 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
         degradation=DegradationPolicy() if spec.degrade else None,
         metrics=registry,
         scheduler=spec.scheduler,
+        index_backend=spec.index_backend,
+        migration_budget=spec.migration_budget,
     )
     generator = scenario.make_generator(seed_offset=spec.seed_offset)
     if spec.partitions == 1:
@@ -184,6 +188,8 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         degradation=DegradationPolicy() if spec.degrade else None,
         metrics=registry,
         scheduler=spec.scheduler,
+        index_backend=spec.index_backend,
+        migration_budget=spec.migration_budget,
     )
     return RunOutcome(
         spec=spec,

@@ -35,6 +35,7 @@ from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
 from repro.experiments.harness import run_scheme, run_scheme_partitioned, train_initial_state
+from repro.storage import BACKENDS, UnknownBackendError
 from repro.experiments.reporting import (
     format_component_breakdown,
     format_fault_timeline,
@@ -148,6 +149,19 @@ def main(argv: list[str] | None = None) -> int:
         help="hash-partition each scheme across K independent kernels (1 = off)",
     )
     parser.add_argument(
+        "--index-backend",
+        default=None,
+        help="override every state's physical index with a registered backend "
+        "(see repro.storage.BACKENDS; the scheme's assessment is kept)",
+    )
+    parser.add_argument(
+        "--migration-budget",
+        type=int,
+        default=None,
+        help="tuples an index migration may relocate per tick "
+        "(default: unbudgeted single-tick rebuild)",
+    )
+    parser.add_argument(
         "--metrics",
         type=Path,
         default=None,
@@ -162,6 +176,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.partitions < 1:
         parser.error(f"--partitions must be >= 1, got {args.partitions}")
+    if args.index_backend is not None:
+        try:
+            BACKENDS.resolve(args.index_backend)
+        except UnknownBackendError as exc:
+            parser.error(str(exc))
+    if args.migration_budget is not None and args.migration_budget < 1:
+        parser.error(f"--migration-budget must be >= 1, got {args.migration_budget}")
 
     scenario = build_scenario(args.scenario, args.seed)
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
@@ -190,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
                 degradation=degradation,
                 metrics=MetricsRegistry if want_metrics else None,
                 scheduler=args.scheduler,
+                index_backend=args.index_backend,
+                migration_budget=args.migration_budget,
             )
             events[scheme] = [event for _, event in engine.merged_events()]
             if want_metrics:
@@ -208,6 +231,8 @@ def main(argv: list[str] | None = None) -> int:
             degradation=degradation,
             metrics=registry,
             scheduler=args.scheduler,
+            index_backend=args.index_backend,
+            migration_budget=args.migration_budget,
         )
         events[scheme] = list(log)
         if registry is not None:

@@ -154,6 +154,15 @@ class StateIndex(abc.ABC):
         full-scan pattern returns every stored item.
         """
 
+    def contains(self, item: Mapping[str, object]) -> bool:
+        """Whether ``item`` is currently stored (identity-based, free).
+
+        Used by the storage layer to route removals while two structures
+        coexist during an incremental migration; it is pure bookkeeping,
+        so implementations charge nothing to the accountant.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support contains()")
+
     # -- introspection --------------------------------------------------- #
 
     @property

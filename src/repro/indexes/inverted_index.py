@@ -71,6 +71,9 @@ class InvertedListIndex(StateIndex):
             acct.hashes += 1
             acct.index_bytes -= self.cost_params.index_entry_bytes
 
+    def contains(self, item: Mapping[str, object]) -> bool:
+        return id(item) in self._items
+
     def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
         self._check_probe(ap, values)
         acct = self.accountant

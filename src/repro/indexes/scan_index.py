@@ -42,6 +42,9 @@ class ScanIndex(StateIndex):
         self.accountant.deletes += 1
         self.accountant.index_bytes -= self.cost_params.bucket_slot_bytes
 
+    def contains(self, item: Mapping[str, object]) -> bool:
+        return id(item) in self._items
+
     def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
         self._check_probe(ap, values)
         examined = len(self._items)

@@ -9,7 +9,9 @@ before being (re-)admitted.  At every segment boundary entries whose
 Guarantees, with ``n`` items seen:
 
 - every item with true frequency ``>= theta * n`` is reported by
-  :meth:`LossyCounting.frequent_items` (no false negatives);
+  :meth:`LossyCounting.frequent_items` (no false negatives), provided
+  ``theta > epsilon`` — at equality an item whose whole count fits inside
+  the ``epsilon * n`` undercount bound may be evicted;
 - no item with true frequency ``< (theta - epsilon) * n`` is reported;
 - estimated counts undercount true counts by at most ``epsilon * n``;
 - at most ``(1/epsilon) * log(epsilon * n)`` entries are retained.

@@ -25,7 +25,6 @@ from dataclasses import dataclass
 
 from repro.core.access_pattern import AccessPattern
 from repro.core.assessment import CDIA, make_assessor
-from repro.core.bit_index import BitAddressIndex
 from repro.core.index_config import IndexConfiguration, uniform_configuration
 from repro.core.selector import IndexSelector
 from repro.core.tuner import AMRITuner, HashIndexTuner, NullTuner
@@ -44,10 +43,7 @@ from repro.engine.router import (
 from repro.engine.stem import SteM
 from repro.engine.stream import StreamSchema
 from repro.indexes.base import Accountant, CostParams
-from repro.indexes.hash_index import MultiHashIndex
-from repro.indexes.inverted_index import InvertedListIndex
-from repro.indexes.scan_index import ScanIndex
-from repro.indexes.static_bitmap import StaticBitmapIndex
+from repro.storage import BACKENDS, IndexBuildSpec
 from repro.utils.rng import derive_seed
 from repro.workloads.generators import (
     SyntheticStreamGenerator,
@@ -163,15 +159,45 @@ class PaperScenario:
             self.query.jas_for(stream), self.params.bit_budget, self.cost_params
         )
 
+    @staticmethod
+    def backend_for_scheme(scheme: str) -> str:
+        """The registry backend name a scheme's physical index uses."""
+        if scheme.startswith("amri:"):
+            return "bit_address"
+        if scheme.startswith("hash:"):
+            return "multi_hash"
+        if scheme in ("static", "inverted", "scan"):
+            return {"static": "static_bitmap", "inverted": "inverted", "scan": "scan"}[scheme]
+        raise ValueError(
+            f"unknown scheme {scheme!r}; expected amri:<assessor>, hash:<k>, static, inverted, or scan"
+        )
+
     def build_stems(
         self,
         scheme: str,
         *,
         initial_configs: dict[str, IndexConfiguration] | None = None,
         initial_hash_patterns: dict[str, list[AccessPattern]] | None = None,
+        index_backend: str | None = None,
+        migration_budget: int | None = None,
     ) -> dict[str, SteM]:
-        """Assemble one SteM per stream for the named index scheme."""
+        """Assemble one SteM per stream for the named index scheme.
+
+        The physical index is built through the
+        :data:`~repro.storage.BACKENDS` registry; ``index_backend`` (a
+        registry name) overrides the scheme's default backend while keeping
+        its assessment — the scheme's tuner survives when the override is
+        capability-compatible, otherwise tuning drops to a
+        :class:`~repro.core.tuner.NullTuner` over the same assessor.
+        ``migration_budget`` makes tuner-approved migrations incremental
+        (see :mod:`repro.storage.migration`); ``None`` keeps the legacy
+        single-tick rebuild.
+        """
         p = self.params
+        default_backend = self.backend_for_scheme(scheme)  # also validates the scheme
+        backend = index_backend if index_backend is not None else default_backend
+        descriptor = BACKENDS.resolve(backend)
+        caps = descriptor.capabilities
         stems: dict[str, SteM] = {}
         for i, stream in enumerate(p.stream_names):
             jas = self.query.jas_for(stream)
@@ -179,20 +205,11 @@ class PaperScenario:
             seed = derive_seed(p.seed, f"assessor:{stream}", i)
             config = (initial_configs or {}).get(stream, self.default_config(stream))
 
-            if scheme.startswith("amri:"):
-                assessor_name = scheme.split(":", 1)[1]
-                index = BitAddressIndex(config, acct, self.cost_params)
-                tuner = AMRITuner(
-                    index,
-                    make_assessor(assessor_name, jas, epsilon=p.epsilon, seed=seed),
-                    self._selector(stream),
-                    theta=p.theta,
-                    params=self.cost_params,
-                )
-            elif scheme.startswith("hash:"):
+            patterns: tuple[AccessPattern, ...] = ()
+            if scheme.startswith("hash:"):
                 k = int(scheme.split(":", 1)[1])
-                patterns = (initial_hash_patterns or {}).get(stream)
-                if patterns is None:
+                chosen = (initial_hash_patterns or {}).get(stream)
+                if chosen is None:
                     # Default modules: the k single-attribute patterns first,
                     # then pairs — a reasonable uninformed starting set.
                     singles = [
@@ -203,29 +220,50 @@ class PaperScenario:
                         for combo in itertools.combinations(jas.names, 2)
                     ]
                     alls = [AccessPattern.all_attributes(jas)]
-                    patterns = (singles + pairs + alls)[:k]
-                index = MultiHashIndex(jas, patterns, acct, self.cost_params)
-                tuner = HashIndexTuner(
-                    index,
-                    CDIA(jas, p.epsilon, combine="highest_count", seed=seed),
-                    k=k,
-                    theta=p.theta,
+                    chosen = (singles + pairs + alls)[:k]
+                patterns = tuple(chosen)
+
+            index = descriptor.build(
+                IndexBuildSpec(
+                    jas=jas,
+                    accountant=acct,
+                    cost_params=self.cost_params,
+                    config=config,
+                    patterns=patterns,
+                    bit_budget=p.bit_budget,
                 )
-            elif scheme == "static":
-                index = StaticBitmapIndex(config, acct, self.cost_params)
-                tuner = NullTuner(make_assessor("sria", jas))
-            elif scheme == "inverted":
-                index = InvertedListIndex(jas, acct, self.cost_params)
-                tuner = NullTuner(make_assessor("sria", jas))
-            elif scheme == "scan":
-                index = ScanIndex(jas, acct, self.cost_params)
-                tuner = NullTuner(make_assessor("sria", jas))
+            )
+
+            if scheme.startswith("amri:"):
+                assessor_name = scheme.split(":", 1)[1]
+                assessor = make_assessor(assessor_name, jas, epsilon=p.epsilon, seed=seed)
+                if caps.reconfigurable and caps.tunable:
+                    tuner = AMRITuner(
+                        index,
+                        assessor,
+                        self._selector(stream),
+                        theta=p.theta,
+                        params=self.cost_params,
+                    )
+                else:
+                    tuner = NullTuner(assessor)
+            elif scheme.startswith("hash:"):
+                k = int(scheme.split(":", 1)[1])
+                assessor = CDIA(jas, p.epsilon, combine="highest_count", seed=seed)
+                if caps.per_pattern_modules:
+                    tuner = HashIndexTuner(index, assessor, k=k, theta=p.theta)
+                else:
+                    tuner = NullTuner(assessor)
             else:
-                raise ValueError(
-                    f"unknown scheme {scheme!r}; expected amri:<assessor>, hash:<k>, static, inverted, or scan"
-                )
+                tuner = NullTuner(make_assessor("sria", jas))
             stems[stream] = SteM(
-                stream, jas, index, p.window, tuner, cost_params=self.cost_params
+                stream,
+                jas,
+                index,
+                p.window,
+                tuner,
+                cost_params=self.cost_params,
+                migration_budget=migration_budget,
             )
         return stems
 
@@ -271,6 +309,8 @@ class PaperScenario:
         degradation: DegradationPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         scheduler=None,
+        index_backend: str | None = None,
+        migration_budget: int | None = None,
     ) -> AMRExecutor:
         """A ready-to-run executor for the named scheme.
 
@@ -287,12 +327,19 @@ class PaperScenario:
         ``scheduler`` picks the backlog-drain policy (a
         :class:`~repro.engine.kernel.Scheduler` or a registry name such as
         ``"fifo"``/``"backlog"``); ``None`` keeps the historical FIFO drain.
+
+        ``index_backend`` overrides each state's physical index with a
+        named :data:`~repro.storage.BACKENDS` backend; ``migration_budget``
+        caps tuples relocated per tick during tuner-approved migrations
+        (both forwarded to :meth:`build_stems`).
         """
         p = self.params
         stems = self.build_stems(
             scheme,
             initial_configs=initial_configs,
             initial_hash_patterns=initial_hash_patterns,
+            index_backend=index_backend,
+            migration_budget=migration_budget,
         )
         router = self.make_router(
             explore_prob=p.explore_prob if explore_prob is None else explore_prob

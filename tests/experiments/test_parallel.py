@@ -67,6 +67,35 @@ class TestExecution:
         assert [o.spec.params.seed for o in outcomes] == [5, 6, 7]
 
 
+class TestStorageSpecFields:
+    def test_index_backend_override_changes_the_run(self):
+        base = execute_spec(
+            RunSpec(FAST, "static", 15, train=False)
+        )
+        overridden = execute_spec(
+            RunSpec(FAST, "static", 15, train=False, index_backend="scan")
+        )
+        # Same arrivals, same outputs; a full-scan state pays different
+        # probe-side work, which the stats expose.
+        assert base.outputs == overridden.outputs
+        assert base.stats.samples[-1].cost_spent != overridden.stats.samples[-1].cost_spent
+
+    def test_budgeted_spec_is_pool_safe(self):
+        s = RunSpec(
+            ScenarioParams(seed=3, capacity=1e9, memory_budget=1 << 30),
+            "amri:sria",
+            25,
+            train=False,
+            migration_budget=20,
+        )
+        serial, pooled = run_parallel([s], workers=0), run_parallel([s, s], workers=2)
+        assert pooled[0].outputs == pooled[1].outputs == serial[0].outputs
+
+    def test_spec_with_storage_fields_pickles(self):
+        s = RunSpec(FAST, "static", 5, index_backend="inverted", migration_budget=7)
+        assert pickle.loads(pickle.dumps(s)) == s
+
+
 class TestFaultedDeterminism:
     """Acceptance: identical (scenario seed, fault seed) pairs yield
     byte-identical RunStats and event logs across serial and pool paths."""

@@ -114,6 +114,45 @@ class TestCLI:
             assert any(s["name"] == "tick" for s in spans)
 
 
+class TestIndexBackendFlags:
+    def test_unknown_backend_exits_with_registered_names(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli.main(
+                ["--schemes", "scan", "--ticks", "5", "--index-backend", "btree"]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown index backend 'btree'" in err
+        assert "bit_address" in err and "scan" in err
+
+    def test_backend_override_runs(self, capsys):
+        rc = run_cli.main(
+            [
+                "--schemes", "static", "--ticks", "12", "--no-train",
+                "--index-backend", "inverted",
+            ]
+        )
+        assert rc == 0
+        assert "static" in capsys.readouterr().out
+
+    def test_migration_budget_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            run_cli.main(
+                ["--schemes", "scan", "--ticks", "5", "--migration-budget", "0"]
+            )
+
+    def test_budgeted_migration_run(self, tmp_path, capsys):
+        rc = run_cli.main(
+            [
+                "--schemes", "amri:sria", "--ticks", "45",
+                "--train-ticks", "20", "--migration-budget", "30",
+                "--csv", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert "amri:sria" in capsys.readouterr().out
+
+
 class TestTrainedPath:
     def test_trained_run_via_cli(self, capsys):
         rc = run_cli.main(

@@ -4,7 +4,7 @@ import math
 from collections import Counter
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.sketches.lossy_counting import LossyCounting
@@ -117,6 +117,10 @@ class TestGuarantees:
         st.sampled_from([0.1, 0.2, 0.3]),
     )
     def test_property_guarantees(self, stream, eps, theta):
+        # The completeness guarantee requires eps < theta: with eps == theta
+        # an item of true frequency exactly theta*n may legitimately be
+        # evicted (its undercount bound eps*n equals its whole count).
+        assume(eps < theta)
         lc = LossyCounting(eps)
         lc.extend(stream)
         true = Counter(stream)

@@ -1,0 +1,160 @@
+"""Tests for the StateStore storage layer (admission ordering, degradation)."""
+
+from repro.core.assessment import SRIA
+from repro.core.bit_index import make_bit_index
+from repro.core.index_config import IndexConfiguration
+from repro.core.selector import IndexSelector
+from repro.core.tuner import AMRITuner, NullTuner
+from repro.engine.stem import SteM
+from repro.engine.tuples import StreamTuple
+from repro.engine.window import CountWindow
+from repro.indexes.base import CostParams, SearchOutcome
+from repro.indexes.scan_index import ScanIndex
+from repro.storage import StateStore, merge_outcomes
+
+
+def tup(t, a=1, b=2, c=3):
+    return StreamTuple("S", t, {"A": a, "B": b, "C": c})
+
+
+class TestInsertOrdering:
+    def test_count_window_eviction_precedes_insertion(self, jas3):
+        """The index never momentarily holds capacity + 1 tuples.
+
+        Evicted tuples must leave the index *before* the arriving tuple is
+        inserted; a spy on the index's insert records the occupancy and the
+        memory gauge right after every insertion, so a regression to
+        insert-then-evict shows up as a capacity + 1 peak.
+        """
+        capacity = 5
+        index = ScanIndex(jas3)
+        store = StateStore("S", jas3, index, window=CountWindow(capacity))
+
+        observed_sizes = []
+        original_insert = index.insert
+
+        def spying_insert(item):
+            original_insert(item)
+            observed_sizes.append((index.size, index.accountant.index_bytes))
+
+        index.insert = spying_insert
+        for i in range(capacity * 3):
+            store.insert(tup(i), i)
+
+        peak_size = max(size for size, _ in observed_sizes)
+        peak_bytes = max(b for _, b in observed_sizes)
+        assert peak_size == capacity
+        assert peak_bytes == capacity * CostParams.bucket_slot_bytes
+        assert store.size == capacity
+
+    def test_evicted_tuples_are_unindexed(self, jas3, ap3):
+        store = StateStore("S", jas3, ScanIndex(jas3), window=CountWindow(2))
+        first = tup(0, a=7)
+        store.insert(first, 0)
+        store.insert(tup(1, a=7), 1)
+        store.insert(tup(2, a=7), 2)  # evicts `first`
+        out = store.probe(ap3("A"), {"A": 7})
+        assert len(out.matches) == 2
+        assert all(m is not first for m in out.matches)
+
+
+class TestDegradeToScan:
+    def make_store(self, jas3, n=8):
+        index = make_bit_index(jas3, [2, 2, 2])
+        assessor = SRIA(jas3)
+        tuner = AMRITuner(index, assessor, IndexSelector(jas3, 6), theta=0.1)
+        store = SteM("S", jas3, index, window=1000, tuner=tuner)
+        for i in range(n):
+            store.insert(tup(i, a=i % 4), i)
+        return store, assessor
+
+    def test_accountant_invariants(self, jas3):
+        store, _ = self.make_store(jas3, n=8)
+        acct = store.index.accountant
+        moves_before = acct.moves
+        inserts_before = acct.inserts
+
+        relocated = store.degrade_to_scan()
+
+        assert relocated == 8
+        assert store.degraded
+        # The old structure's bytes are released wholesale; the fallback
+        # keeps exactly one reference slot per live tuple.
+        assert acct.index_bytes == 8 * CostParams.bucket_slot_bytes
+        # Each live tuple is charged one move (the relocation) and one
+        # insert (the fallback genuinely stores it).
+        assert acct.moves == moves_before + 8
+        assert acct.inserts == inserts_before + 8
+
+    def test_second_call_is_a_noop(self, jas3):
+        store, _ = self.make_store(jas3)
+        store.degrade_to_scan()
+        snapshot = store.index.accountant.snapshot()
+        assert store.degrade_to_scan() == 0
+        assert store.index.accountant == snapshot
+
+    def test_assessor_survives_into_null_tuner(self, jas3, ap3):
+        store, assessor = self.make_store(jas3)
+        store.probe(ap3("A"), {"A": 1})
+        store.degrade_to_scan()
+        assert isinstance(store.tuner, NullTuner)
+        assert store.tuner.assessor is assessor
+        store.probe(ap3("A"), {"A": 1})
+        assert assessor.n_requests == 2  # still recording after degradation
+
+    def test_post_degrade_probes_charge_full_scan(self, jas3, ap3):
+        store, _ = self.make_store(jas3, n=8)
+        store.degrade_to_scan()
+        acct = store.index.accountant
+        examined_before = acct.tuples_examined
+        out = store.probe(ap3("A"), {"A": 1})
+        assert out.used_full_scan
+        assert out.tuples_examined == 8
+        assert acct.tuples_examined == examined_before + 8
+
+    def test_degrade_abandons_an_inflight_migration(self, jas3, ap3):
+        index = make_bit_index(jas3, [2, 2, 2])
+        store = StateStore("S", jas3, index, window=1000, migration_budget=2)
+        for i in range(6):
+            store.insert(tup(i, a=i % 3), i)
+        store.lifecycle.begin(IndexConfiguration(jas3, [4, 1, 1]))
+        store.lifecycle.step()
+        assert store.migration_active
+
+        relocated = store.degrade_to_scan()
+
+        assert relocated == 6  # both structures collapsed into the fallback
+        assert not store.migration_active
+        assert store.size == 6
+        assert len(store.probe(ap3("A"), {"A": 1}).matches) == 2
+
+
+class TestMergeOutcomes:
+    def test_matches_concatenate_and_work_adds_up(self):
+        a = SearchOutcome(matches=[{"A": 1}], buckets_visited=2, tuples_examined=3)
+        b = SearchOutcome(
+            matches=[{"A": 2}], buckets_visited=1, tuples_examined=4, used_full_scan=True
+        )
+        merged = merge_outcomes(a, b)
+        assert merged.matches == [{"A": 1}, {"A": 2}]
+        assert merged.buckets_visited == 3
+        assert merged.tuples_examined == 7
+        assert merged.used_full_scan
+
+
+class TestFacade:
+    def test_stem_is_a_state_store(self, jas3):
+        stem = SteM("S", jas3, ScanIndex(jas3), window=5)
+        assert isinstance(stem, StateStore)
+        assert stem.describe().startswith("SteM(S")
+
+    def test_state_store_describe(self, jas3):
+        store = StateStore("S", jas3, ScanIndex(jas3), window=5)
+        assert store.describe().startswith("StateStore(S")
+
+    def test_degraded_is_a_capability_lookup_not_isinstance(self, jas3):
+        class CustomScan(ScanIndex):
+            pass
+
+        store = StateStore("S", jas3, CustomScan(jas3), window=5)
+        assert store.degraded

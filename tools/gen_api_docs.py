@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.core",
     "repro.sketches",
     "repro.indexes",
+    "repro.storage",
     "repro.engine",
     "repro.workloads",
     "repro.experiments",

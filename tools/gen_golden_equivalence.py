@@ -3,9 +3,11 @@
 
     PYTHONPATH=src python tools/gen_golden_equivalence.py
 
-Writes ``tests/integration/golden_equivalence.json``: one fingerprint per
-:data:`repro.experiments.golden.CASES` entry, capturing the engine's
-RunStats, event log, and metrics snapshot byte-for-byte.
+Writes ``tests/integration/golden_equivalence.json.gz``: one fingerprint
+per :data:`repro.experiments.golden.CASES` entry, capturing the engine's
+RunStats, event log, and metrics snapshot byte-for-byte.  The corpus is
+stored gzipped (fixed mtime, so regenerating unchanged semantics produces
+a bit-identical file).
 
 The committed file was generated from the pre-kernel monolithic
 ``AMRExecutor``; ``tests/integration/test_golden_equivalence.py`` holds
@@ -15,18 +17,27 @@ purpose — a refactor that needs regeneration is not a refactor.
 
 from __future__ import annotations
 
+import gzip
 import json
 import sys
 from pathlib import Path
 
 from repro.experiments.golden import CASES, run_all
 
-OUT = Path(__file__).resolve().parent.parent / "tests" / "integration" / "golden_equivalence.json"
+OUT = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "integration"
+    / "golden_equivalence.json.gz"
+)
 
 
 def main() -> int:
     fingerprints = run_all()
-    OUT.write_text(json.dumps(fingerprints, indent=1, sort_keys=True) + "\n")
+    payload = (json.dumps(fingerprints, indent=1, sort_keys=True) + "\n").encode()
+    # mtime=0 keeps the gzip header deterministic: regenerating unchanged
+    # semantics yields a byte-identical file (clean diffs, stable hashes).
+    OUT.write_bytes(gzip.compress(payload, mtime=0))
     total = sum(fp["stats"]["outputs"] for fp in fingerprints.values())
     print(f"wrote {OUT} ({len(CASES)} cases, {total} total outputs)")
     return 0
