@@ -9,6 +9,9 @@ Public surface:
   :class:`BitAddressIndex`);
 - the cost model (:class:`WorkloadStatistics`, :func:`estimate_cd`) and
   selector (:class:`IndexSelector`);
+- compiled probe plans (:class:`ProbePlan`, :class:`ProbePlanCache`,
+  :func:`compile_probe_plan`, :func:`compile_matcher`) — the hot-path
+  compilation layer (see docs/performance.md);
 - the assessment methods (:class:`SRIA`, :class:`CSRIA`, :class:`DIA`,
   :class:`CDIA`, :func:`make_assessor`);
 - the tuners (:class:`AMRITuner`, :class:`HashIndexTuner`,
@@ -42,6 +45,13 @@ from repro.core.cost_model import (
 )
 from repro.core.index_config import IndexConfiguration, uniform_configuration
 from repro.core.lattice import AccessPatternLattice
+from repro.core.probe_plan import (
+    Matcher,
+    ProbePlan,
+    ProbePlanCache,
+    compile_matcher,
+    compile_probe_plan,
+)
 from repro.core.selector import (
     IndexSelector,
     select_exhaustive,
@@ -73,14 +83,19 @@ __all__ = [
     "IndexSnapshot",
     "IndexSelector",
     "JoinAttributeSet",
+    "Matcher",
     "MigrationReport",
     "NullTuner",
+    "ProbePlan",
+    "ProbePlanCache",
     "SRIA",
     "StateSnapshot",
     "TuneReport",
     "TuningContext",
     "WorkloadStatistics",
     "all_access_patterns",
+    "compile_matcher",
+    "compile_probe_plan",
     "cost_breakdown",
     "estimate_cd",
     "format_report",

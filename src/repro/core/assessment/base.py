@@ -28,7 +28,9 @@ class FrequencyAssessor(abc.ABC):
 
     def record(self, ap: AccessPattern) -> None:
         """Record one search request using pattern ``ap``."""
-        if ap.jas != self.jas:
+        # Identity first: the engine reuses one JAS object per stream, so
+        # the structural comparison is a per-probe cost only on foreign input.
+        if ap.jas is not self.jas and ap.jas != self.jas:
             raise ValueError(f"pattern {ap!r} ranges over a different JAS than this assessor")
         self._n_requests += 1
         self._record(ap)

@@ -27,13 +27,14 @@ from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.core.access_pattern import AccessPattern, JoinAttributeSet
-from repro.core.index_config import IndexConfiguration, ValueMapper
+from repro.core.index_config import IndexConfiguration, ValueMapper, _default_map
+from repro.core.probe_plan import ProbePlanCache
 from repro.indexes.base import Accountant, CostParams, SearchOutcome, StateIndex
 
 BucketKey = tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigrationReport:
     """What one index migration (``IC1 -> IC2``) did and cost."""
 
@@ -88,6 +89,11 @@ class BitAddressIndex(StateIndex):
         return self._size
 
     @property
+    def probe_plans(self) -> ProbePlanCache:
+        """The compiled-plan cache (exposed for invalidation tests)."""
+        return self._plans
+
+    @property
     def bucket_count(self) -> int:
         """Number of live (non-empty) buckets."""
         return len(self._buckets)
@@ -100,6 +106,14 @@ class BitAddressIndex(StateIndex):
         self._frag_maps = {
             i: {} for i, w in enumerate(self._config.bits) if w > 0
         }
+        # Compiled probe plans are derived from the key map, so any code
+        # path that changes the configuration (construction, reconfigure)
+        # lands here and must drop them.
+        plans = getattr(self, "_plans", None)
+        if plans is None:
+            self._plans = ProbePlanCache(self._config)
+        else:
+            plans.invalidate(self._config)
 
     def _bucket_overhead_bytes(self) -> int:
         # A live bucket costs its dict slot plus one inverted-map entry per
@@ -110,7 +124,10 @@ class BitAddressIndex(StateIndex):
     # storage
 
     def insert(self, item: Mapping[str, object]) -> None:
-        key = self._config.bucket_key(item, self.value_mapper)
+        mapper = self.value_mapper
+        key = self._plans.key_plan.key_for(
+            item, _default_map if mapper is None else mapper
+        )
         acct = self.accountant
         acct.hashes += len(self._frag_maps)  # one fragment hash per indexed attribute
         acct.inserts += 1
@@ -158,45 +175,60 @@ class BitAddressIndex(StateIndex):
     # search
 
     def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
-        self._check_probe(ap, values)
+        if ap.jas is not self.jas and ap.jas != self.jas:
+            raise ValueError(
+                f"probe pattern {ap!r} ranges over a different JAS than this index"
+            )
+        plan = self._plans.lookup(ap)
+        for name in plan.attributes:
+            if name not in values:
+                raise KeyError(
+                    f"probe values missing attribute {name!r} required by {ap!r}"
+                )
         acct = self.accountant
         # C_hash,Sr: one hash per attribute the request specifies.
-        acct.hashes += ap.n_attributes
+        acct.hashes += plan.n_attributes
 
-        fixed = self._config.probe_fragments(ap, values, self.value_mapper)
-        if fixed:
+        if plan.fixed:
+            mapper = self.value_mapper
+            fn = _default_map if mapper is None else mapper
+            fixed = {pos: fn(name, values[name], w) for pos, name, w in plan.fixed}
             candidate_keys = self._intersect_candidates(fixed)
         else:
             candidate_keys = None  # no indexed attribute constrains the probe
 
-        wildcard_bits = self._config.wildcard_bits(ap)
         live = len(self._buckets)
-        if wildcard_bits < live.bit_length() + 40:  # avoid huge shifts just to compare
-            enumerated = min(1 << wildcard_bits, live)
-        else:
-            enumerated = live
-        acct.buckets_visited += max(enumerated, 1 if live else 0)
+        # Charged visits: min(2**wildcard_bits, live), floored at one visit
+        # for a non-empty index (computed once for accountant and outcome).
+        visited = max(plan.enumerated(live), 1 if live else 0)
+        acct.buckets_visited += visited
 
         outcome = SearchOutcome()
-        outcome.buckets_visited = max(enumerated, 1 if live else 0)
+        outcome.buckets_visited = visited
+        buckets = self._buckets
         if candidate_keys is None:
             examined = self._size
-            source = self._buckets.values()
-            items = (item for bucket in source for item in bucket.values())
+            items = (item for bucket in buckets.values() for item in bucket.values())
             outcome.used_full_scan = True
         else:
-            examined = sum(len(self._buckets[k]) for k in candidate_keys)
-            items = (item for k in candidate_keys for item in self._buckets[k].values())
+            examined = sum(len(buckets[k]) for k in candidate_keys)
+            items = (item for k in candidate_keys for item in buckets[k].values())
         acct.tuples_examined += examined
         outcome.tuples_examined = examined
-        if ap.is_full_scan:
+        if plan.is_full_scan:
             outcome.matches = list(items)
         else:
-            outcome.matches = [item for item in items if self._matches(item, ap, values)]
+            outcome.matches = plan.select(items, values)
         return outcome
 
     def _intersect_candidates(self, fixed: dict[int, int]) -> list[BucketKey]:
-        """Bucket keys whose fragments match every fixed attribute fragment."""
+        """Bucket keys whose fragments match every fixed attribute fragment.
+
+        The result order is the iteration order of the smallest fragment
+        key set (ties broken by fixed-position order), which downstream
+        match lists — and therefore the golden corpus — depend on; the
+        C-level ``set.intersection`` only decides membership.
+        """
         sets: list[set[BucketKey]] = []
         for pos, frag in fixed.items():
             keys = self._frag_maps[pos].get(frag)
@@ -207,8 +239,10 @@ class BitAddressIndex(StateIndex):
         base = sets[0]
         if len(sets) == 1:
             return list(base)
-        rest = sets[1:]
-        return [k for k in base if all(k in s for s in rest)]
+        keep = base.intersection(*sets[1:])
+        if len(keep) == len(base):
+            return list(base)
+        return [k for k in base if k in keep]
 
     # ------------------------------------------------------------------ #
     # adaptation

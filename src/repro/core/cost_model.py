@@ -125,21 +125,32 @@ def effective_total_bits(config: IndexConfiguration, domain_bits: Mapping[str, i
     return total
 
 
+def _live_bucket_cap(config: IndexConfiguration, stats: WorkloadStatistics) -> float:
+    """Upper bound on live buckets: stored tuples and domain-capped key space."""
+    return min(
+        stats.stored_tuples,
+        float(2 ** min(effective_total_bits(config, stats.domain_bits), 63)),
+    )
+
+
 def expected_bucket_visits(
-    config: IndexConfiguration, ap: AccessPattern, stats: WorkloadStatistics
+    config: IndexConfiguration,
+    ap: AccessPattern,
+    stats: WorkloadStatistics,
+    live_cap: float | None = None,
 ) -> float:
     """``V(ap)``: bucket ids a search with ``ap`` visits, capped at live buckets.
 
     A real bit-address search enumerates one bucket id per combination of the
     wildcard bits (``2^(B − B_ap)``), but a sparse implementation never visits
     more buckets than exist; live buckets are bounded both by the stored tuple
-    count and by the domain-capped key space.
+    count and by the domain-capped key space.  ``live_cap`` is that bound —
+    it does not depend on ``ap``, so callers evaluating one configuration
+    against many patterns pass it precomputed.
     """
     wildcard = config.wildcard_bits(ap)
-    live_cap = min(
-        stats.stored_tuples,
-        float(2 ** min(effective_total_bits(config, stats.domain_bits), 63)),
-    )
+    if live_cap is None:
+        live_cap = _live_bucket_cap(config, stats)
     if wildcard >= 63:
         return max(live_cap, 1.0)
     return max(min(float(2**wildcard), live_cap), 1.0)
@@ -169,13 +180,17 @@ def cost_breakdown(
     request_hashing = 0.0
     bucket_visits = 0.0
     tuple_comparisons = 0.0
+    live_cap = _live_bucket_cap(config, stats)
+    jas = config.jas
     for ap, f_ap in stats.frequencies.items():
         if f_ap == 0.0:
             continue
-        if ap.jas != config.jas:
+        if ap.jas is not jas and ap.jas != jas:
             raise ValueError(f"frequency pattern {ap!r} ranges over a different JAS")
         request_hashing += f_ap * ap.n_attributes * params.c_hash
-        bucket_visits += f_ap * expected_bucket_visits(config, ap, stats) * params.c_bucket
+        bucket_visits += (
+            f_ap * expected_bucket_visits(config, ap, stats, live_cap) * params.c_bucket
+        )
         tuple_comparisons += f_ap * expected_tuples_compared(config, ap, stats) * params.c_compare
     lam_r = stats.lambda_r
     return CostBreakdown(

@@ -40,7 +40,7 @@ class IndexConfiguration:
         mapping ``attribute name -> bits`` (unmentioned attributes get 0).
     """
 
-    __slots__ = ("_jas", "_bits", "_total")
+    __slots__ = ("_jas", "_bits", "_total", "_indexed", "_pattern_bits")
 
     def __init__(self, jas: JoinAttributeSet, bits: Iterable[int] | Mapping[str, int]) -> None:
         if isinstance(bits, Mapping):
@@ -60,6 +60,10 @@ class IndexConfiguration:
         self._jas = jas
         self._bits = widths
         self._total = sum(widths)
+        self._indexed = tuple(name for name, w in zip(jas.names, widths) if w > 0)
+        # mask -> B_ap memo; the selector evaluates the same few patterns
+        # against each candidate configuration every tuning round.
+        self._pattern_bits: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # views
@@ -86,7 +90,12 @@ class IndexConfiguration:
     def bits_for_pattern(self, ap: AccessPattern) -> int:
         """``B_ap`` — total bits assigned to the attributes ``ap`` specifies."""
         self._check_jas(ap)
-        return sum(self._bits[i] for i in mask_to_indices(ap.mask))
+        mask = ap.mask
+        cached = self._pattern_bits.get(mask)
+        if cached is None:
+            cached = sum(self._bits[i] for i in mask_to_indices(mask))
+            self._pattern_bits[mask] = cached
+        return cached
 
     def wildcard_bits(self, ap: AccessPattern) -> int:
         """Bits assigned to attributes *not* in ``ap``.
@@ -99,7 +108,7 @@ class IndexConfiguration:
     @property
     def indexed_attributes(self) -> tuple[str, ...]:
         """Attributes with at least one bit assigned, in JAS order."""
-        return tuple(name for name, w in zip(self._jas.names, self._bits) if w > 0)
+        return self._indexed
 
     def as_pattern(self) -> AccessPattern:
         """The access pattern formed by the attributes with bits assigned.
@@ -173,7 +182,7 @@ class IndexConfiguration:
         return IndexConfiguration(self._jas, new)
 
     def _check_jas(self, ap: AccessPattern) -> None:
-        if ap.jas != self._jas:
+        if ap.jas is not self._jas and ap.jas != self._jas:
             raise ValueError(f"pattern {ap!r} ranges over a different JAS than this IC")
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,249 @@
+"""Compiled probe plans — hoisting per-probe work out of the hot path.
+
+Every ``BitAddressIndex.search`` used to recompute, per call, facts that
+depend only on the ``(IndexConfiguration, AccessPattern)`` pair: which JAS
+positions the probe fixes (and at what widths), how many wildcard bits
+remain, the ``enumerated``-buckets cap, the attribute-name tuple for the
+probe-validity check, and a fresh generic matcher closure.  A
+:class:`ProbePlan` precomputes all of it once; indexes keep a per-structure
+:class:`ProbePlanCache` keyed by the pattern's ``BR(ap)`` mask (an ``int``,
+so the hot lookup is one dict get) and invalidate it whenever the key map
+changes — ``reconfigure()`` and the budgeted-migration handover both route
+through :meth:`ProbePlanCache.invalidate`.
+
+Three compilation entry points, all memoized process-wide so fresh index
+generations (e.g. the dual-structure phase of an incremental migration)
+reuse prior compilations:
+
+- :func:`compile_probe_plan` — the full plan for a bit-address probe;
+- :func:`compile_key_plan` — the insert-side bucket-key recipe of one
+  configuration;
+- :func:`compile_matcher` — just the attribute tuple + specialised
+  equality filter, for backends without a key map (hash modules, scans,
+  inverted lists).
+
+Everything here is *derived* state: a plan never holds index contents, so
+caching cannot change results — only how fast they are produced.  The
+specialised ``select`` filters preserve the exact comparison order (and
+operand order) of the generic ``all(item[a] == values[a] ...)`` they
+replace, which the golden-equivalence suite depends on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from functools import lru_cache
+
+from repro.core.access_pattern import AccessPattern
+from repro.core.index_config import IndexConfiguration
+from repro.utils.bitops import mask_to_indices
+
+#: Wildcard widths at or above this never cap the enumeration: a Python
+#: container cannot hold ``2**63`` live buckets, so ``min(2**wb, live)``
+#: is always ``live`` and the shift need not be materialised.
+_UNCAPPED_WILDCARD_BITS = 63
+
+Selector = Callable[[Iterable[Mapping[str, object]], Mapping[str, object]], list]
+
+
+def _compile_selector(attributes: tuple[str, ...]) -> Selector:
+    """A list-building equality filter specialised to the attribute count.
+
+    Semantically identical to filtering with
+    ``all(item[a] == values[a] for a in attributes)`` — same attribute
+    order, same operand order, same short-circuiting — but with the probe
+    values bound once per search instead of once per stored tuple.
+    """
+    n = len(attributes)
+    if n == 0:
+        def select(items, values):  # full scan: everything matches
+            return list(items)
+    elif n == 1:
+        (a,) = attributes
+
+        def select(items, values):
+            va = values[a]
+            return [item for item in items if item[a] == va]
+    elif n == 2:
+        a, b = attributes
+
+        def select(items, values):
+            va, vb = values[a], values[b]
+            return [item for item in items if item[a] == va and item[b] == vb]
+    elif n == 3:
+        a, b, c = attributes
+
+        def select(items, values):
+            va, vb, vc = values[a], values[b], values[c]
+            return [
+                item
+                for item in items
+                if item[a] == va and item[b] == vb and item[c] == vc
+            ]
+    else:
+
+        def select(items, values):
+            return [
+                item
+                for item in items
+                if all(item[a] == values[a] for a in attributes)
+            ]
+
+    return select
+
+
+class Matcher:
+    """The pattern-only slice of a plan: attribute names + equality filter.
+
+    Enough for index backends with no key map (scan, hash modules,
+    inverted lists) to skip the per-probe ``ap.attributes`` property walk
+    and the per-item generic matcher.
+    """
+
+    __slots__ = ("mask", "attributes", "n_attributes", "is_full_scan", "select")
+
+    def __init__(self, ap: AccessPattern) -> None:
+        self.mask = ap.mask
+        self.attributes = ap.attributes
+        self.n_attributes = ap.n_attributes
+        self.is_full_scan = ap.is_full_scan
+        self.select = _compile_selector(self.attributes)
+
+
+class KeyPlan:
+    """The insert-side recipe of one configuration: bucket-key assembly.
+
+    Precomputes the ``(name, width)`` pairs ``bucket_key`` re-derives from
+    properties on every insert.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, config: IndexConfiguration) -> None:
+        self.entries = tuple(zip(config.jas.names, config.bits))
+
+    def key_for(self, values: Mapping[str, object], mapper) -> tuple[int, ...]:
+        """Identical to ``IndexConfiguration.bucket_key(values, mapper)``."""
+        return tuple(
+            mapper(name, values[name], w) if w > 0 else 0
+            for name, w in self.entries
+        )
+
+
+class ProbePlan:
+    """Everything about one ``(configuration, pattern)`` probe that does not
+    depend on index contents or probe values."""
+
+    __slots__ = (
+        "mask",
+        "attributes",
+        "n_attributes",
+        "is_full_scan",
+        "fixed",
+        "wildcard_bits",
+        "enumeration_cap",
+        "select",
+    )
+
+    def __init__(self, config: IndexConfiguration, ap: AccessPattern) -> None:
+        if ap.jas != config.jas:
+            raise ValueError(f"pattern {ap!r} ranges over a different JAS than this IC")
+        self.mask = ap.mask
+        self.attributes = ap.attributes
+        self.n_attributes = ap.n_attributes
+        self.is_full_scan = ap.is_full_scan
+        #: (JAS position, attribute name, bit width) per probed attribute
+        #: that actually carries bits — the search's fixed fragments.
+        bits = config.bits
+        names = config.jas.names
+        self.fixed = tuple(
+            (i, names[i], bits[i]) for i in mask_to_indices(ap.mask) if bits[i] > 0
+        )
+        self.wildcard_bits = config.wildcard_bits(ap)
+        #: ``2**wildcard_bits`` when that can bound the live-bucket count,
+        #: else ``None`` (the enumeration is always the live count).  By
+        #: definition ``enumerated = min(2**wb, live)``; the search loop
+        #: only needs the cap, never the full shift.
+        self.enumeration_cap = (
+            1 << self.wildcard_bits
+            if self.wildcard_bits < _UNCAPPED_WILDCARD_BITS
+            else None
+        )
+        self.select = _compile_selector(self.attributes)
+
+    def enumerated(self, live: int) -> int:
+        """``min(2**wildcard_bits, live)`` without materialising the shift."""
+        cap = self.enumeration_cap
+        return live if cap is None or cap >= live else cap
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbePlan(mask={self.mask:#b}, fixed={len(self.fixed)}, "
+            f"wildcard_bits={self.wildcard_bits})"
+        )
+
+
+@lru_cache(maxsize=1024)
+def compile_probe_plan(config: IndexConfiguration, ap: AccessPattern) -> ProbePlan:
+    """The memoized plan for one ``(configuration, pattern)`` pair."""
+    return ProbePlan(config, ap)
+
+
+@lru_cache(maxsize=512)
+def compile_key_plan(config: IndexConfiguration) -> KeyPlan:
+    """The memoized insert-side key recipe for one configuration."""
+    return KeyPlan(config)
+
+
+@lru_cache(maxsize=2048)
+def compile_matcher(ap: AccessPattern) -> Matcher:
+    """The memoized pattern-only matcher (no configuration required)."""
+    return Matcher(ap)
+
+
+class ProbePlanCache:
+    """Per-index plan table with explicit key-map invalidation.
+
+    The hot path is ``plans.lookup(ap)`` — one ``dict.get`` on the integer
+    mask.  The owning index must call :meth:`invalidate` whenever its
+    configuration changes (``reconfigure()``); a budgeted migration's fresh
+    structure builds its own cache, so the draining structure keeps serving
+    probes from plans compiled against the *old* key map — which is exactly
+    what its buckets still are.
+
+    Callers are responsible for checking ``ap.jas`` against the index JAS
+    before trusting a mask-keyed lookup (two patterns over different JAS
+    can share a mask).
+    """
+
+    __slots__ = ("_config", "_plans", "key_plan")
+
+    def __init__(self, config: IndexConfiguration) -> None:
+        self._config = config
+        self._plans: dict[int, ProbePlan] = {}
+        self.key_plan = compile_key_plan(config)
+
+    @property
+    def config(self) -> IndexConfiguration:
+        """The configuration every cached plan was compiled against."""
+        return self._config
+
+    def lookup(self, ap: AccessPattern) -> ProbePlan:
+        """The plan for ``ap`` under the current configuration."""
+        plan = self._plans.get(ap.mask)
+        if plan is None:
+            plan = compile_probe_plan(self._config, ap)
+            self._plans[ap.mask] = plan
+        return plan
+
+    def invalidate(self, config: IndexConfiguration) -> None:
+        """Drop every cached plan and rebind to ``config``."""
+        self._config = config
+        self._plans.clear()
+        self.key_plan = compile_key_plan(config)
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._plans

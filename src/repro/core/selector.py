@@ -19,6 +19,7 @@ access patterns.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
+from functools import lru_cache
 
 from repro.core.access_pattern import AccessPattern, JoinAttributeSet
 from repro.core.cost_model import WorkloadStatistics, estimate_cd
@@ -93,14 +94,29 @@ def select_exhaustive(
     caps = _attribute_caps(jas, budget, stats.domain_bits, max_bits_per_attribute)
     best_cfg: IndexConfiguration | None = None
     best_key: tuple[float, int, tuple[int, ...]] | None = None
-    for bits in enumerate_allocations(caps, budget):
-        cfg = IndexConfiguration(jas, bits)
-        key = (estimate_cd(cfg, stats, params), sum(bits), bits)
+    for cfg in _candidate_configs(jas, tuple(caps), budget):
+        key = (estimate_cd(cfg, stats, params), cfg.total_bits, cfg.bits)
         if best_key is None or key < best_key:
             best_key = key
             best_cfg = cfg
     assert best_cfg is not None  # the all-zero allocation always exists
     return best_cfg
+
+
+@lru_cache(maxsize=256)
+def _candidate_configs(
+    jas: JoinAttributeSet, caps: tuple[int, ...], budget: int
+) -> tuple[IndexConfiguration, ...]:
+    """The exhaustive candidate set, built once per (JAS, caps, budget).
+
+    Configurations are immutable, so successive tuning rounds — which
+    re-enumerate the identical space every time — share one object per
+    allocation (and with it the per-pattern bit memos on each object).
+    """
+    return tuple(
+        IndexConfiguration(jas, bits)
+        for bits in enumerate_allocations(list(caps), budget)
+    )
 
 
 def select_greedy(

@@ -35,15 +35,24 @@ from repro.engine.stem import SteM
 from repro.engine.tuples import StreamTuple
 
 
+_KIND_LABELS: dict[type, str] = {}
+
+
 def index_kind_label(index: object) -> str:
     """A stable ``index_kind`` label: snake-cased class name sans ``Index``.
 
     ``BitAddressIndex → bit_address``, ``MultiHashIndex → multi_hash``,
     ``ScanIndex → scan`` — derived, so extension indexes label themselves.
+    The regex runs once per index *type*; this sits on the per-probe
+    attribution path, so repeat calls are a dict hit.
     """
-    name = type(index).__name__
-    name = name.removesuffix("Index") or name
-    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+    t = type(index)
+    label = _KIND_LABELS.get(t)
+    if label is None:
+        name = t.__name__.removesuffix("Index") or t.__name__
+        label = re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+        _KIND_LABELS[t] = label
+    return label
 
 
 @dataclass

@@ -33,7 +33,7 @@ from repro.engine.tuples import JoinedTuple, StreamTuple
 MATCH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class TickState:
     """Per-tick scratch shared along the stage pipeline."""
 
@@ -245,6 +245,7 @@ class RouteProbeStage:
         m = ctx.metrics
         cost_before = ctx.stem_costs()
         route = ctx.router.choose_route(item.stream, ctx.estimator, item)
+        observe_content = getattr(ctx.router, "observe_content", None)
         outputs = 0
         partials: list[JoinedTuple] = [JoinedTuple.of(item)]
         joined: set[str] = {item.stream}
@@ -254,7 +255,7 @@ class RouteProbeStage:
             ap, bindings = ctx.query.probe_spec(joined, target)
             stem = ctx.stems[target]
             next_partials: list[JoinedTuple] = []
-            anchor = (item.arrived_at, item.stream)
+            anchor_at, anchor_stream = item.arrived_at, item.stream
             for partial in partials:
                 values = ctx.query.probe_values(bindings, partial)
                 outcome = stem.probe(ap, values)
@@ -262,13 +263,16 @@ class RouteProbeStage:
                 # Timestamp ordering: the arriving tuple joins only with
                 # strictly-older tuples (stream name breaks same-tick ties),
                 # so each join result is produced exactly once — by its
-                # youngest member's probe sequence.
+                # youngest member's probe sequence.  (Unrolled (at, stream)
+                # tuple comparison: no per-match tuple allocation.)
                 matches = [
-                    m2 for m2 in outcome.matches if (m2.arrived_at, m2.stream) < anchor
+                    m2
+                    for m2 in outcome.matches
+                    if m2.arrived_at < anchor_at
+                    or (m2.arrived_at == anchor_at and m2.stream < anchor_stream)
                 ]
                 ctx.stats.matches += len(matches)
                 ctx.estimator.observe(target, ap.mask, len(matches))
-                observe_content = getattr(ctx.router, "observe_content", None)
                 if observe_content is not None:
                     bucket = ctx.router.bucket_for(item, item.stream, target)
                     observe_content(target, ap.mask, bucket, len(matches))

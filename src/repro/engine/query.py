@@ -169,6 +169,14 @@ class Query:
         self._jas = {
             s.name: self._derive_jas(s.name) for s in self.streams
         }
+        # (joined streams, target) -> (access pattern, bindings).  Probe
+        # derivation is pure in the (immutable) predicate set, and a route
+        # revisits the same few combinations every tick, so the router's
+        # per-partial probe_spec call is a dict hit after the first tick.
+        self._probe_specs: dict[
+            tuple[frozenset[str], str],
+            tuple[AccessPattern, tuple[tuple[str, str], ...]],
+        ] = {}
 
     def _derive_jas(self, stream: str) -> JoinAttributeSet:
         attrs: list[str] = []
@@ -239,6 +247,10 @@ class Query:
         Raises if no predicate binds the probe (that hop would be a cross
         product; the router never schedules one for connected join graphs).
         """
+        key = (frozenset(joined_streams), target)
+        cached = self._probe_specs.get(key)
+        if cached is not None:
+            return cached
         if target in joined_streams:
             raise ValueError(f"target {target!r} already joined")
         bindings: list[tuple[str, str]] = []
@@ -257,7 +269,9 @@ class Query:
                 f"no predicate binds a probe into {target!r} from {sorted(joined_streams)}"
             )
         ap = AccessPattern.from_attributes(self._jas[target], attrs)
-        return ap, tuple(bindings)
+        spec = (ap, tuple(bindings))
+        self._probe_specs[key] = spec
+        return spec
 
     def probe_values(
         self, bindings: tuple[tuple[str, str], ...], partial: Mapping[str, object]

@@ -48,7 +48,7 @@ def registered_event_kinds() -> frozenset[str]:
     return frozenset(_REGISTERED_KINDS)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EngineEvent:
     """One discrete engine event."""
 

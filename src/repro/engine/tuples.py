@@ -56,7 +56,9 @@ class JoinedTuple(Mapping[str, object]):
         self.sources = sources
         merged: dict[str, object] = {}
         for src in sources:
-            merged.update(src)
+            # Merge the backing dicts directly (C fast path); updating via
+            # the Mapping protocol walks __iter__/__getitem__ per key.
+            merged.update(src._values)
         self._values = merged
 
     @classmethod
@@ -65,8 +67,24 @@ class JoinedTuple(Mapping[str, object]):
         return cls((single,))
 
     def extend(self, other: StreamTuple) -> "JoinedTuple":
-        """A new partial result including ``other``."""
-        return JoinedTuple(self.sources + (other,))
+        """A new partial result including ``other``.
+
+        Equivalent to ``JoinedTuple(self.sources + (other,))`` but reuses
+        this partial's already-merged values instead of re-merging every
+        source — the width-k extend is O(|other|), not O(k · |tuple|).
+        """
+        sources = self.sources + (other,)
+        stream = other.stream
+        for src in self.sources:
+            if src.stream == stream:
+                streams = [s.stream for s in sources]
+                raise ValueError(f"duplicate source streams in join: {streams}")
+        joined = JoinedTuple.__new__(JoinedTuple)
+        joined.sources = sources
+        merged = dict(self._values)
+        merged.update(other._values)
+        joined._values = merged
+        return joined
 
     @property
     def streams(self) -> frozenset[str]:

@@ -23,7 +23,7 @@ from repro.core.index_config import IndexConfiguration
 from repro.core.selector import pad_patterns_to_k, select_exhaustive, select_hash_patterns
 from repro.engine.kernel import PartitionedEngine
 from repro.engine.stats import RunStats
-from repro.workloads.scenarios import PaperScenario
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
 
 TRAINING_SEED_OFFSET = 1_000_003  # decorrelates training data from measured runs
 
@@ -88,6 +88,35 @@ def train_initial_state(
             stats, stem.jas, p.bit_budget, scenario.cost_params
         )
     return result
+
+
+#: Process-local quasi-training memo: ``(params, train_ticks)`` → result.
+#: Training is deterministic in that key (a fixed seed offset, default
+#: theta), so recomputing it per scheme/worker is pure waste — sweeps
+#: comparing k schemes over one scenario used to pay k identical trainings.
+_TRAINING_CACHE: dict[tuple[ScenarioParams, int], TrainingResult] = {}
+
+
+def cached_training(params: ScenarioParams, train_ticks: int) -> TrainingResult:
+    """:func:`train_initial_state` computed once per ``(params, train_ticks)``.
+
+    The returned :class:`TrainingResult` is shared — callers must treat it
+    as read-only (they all do: it is consumed via ``configs`` lookups and
+    :meth:`TrainingResult.hash_patterns`, which builds fresh lists).
+    Non-default ``theta`` trainings are not cached; call
+    :func:`train_initial_state` directly for those.
+    """
+    key = (params, train_ticks)
+    result = _TRAINING_CACHE.get(key)
+    if result is None:
+        result = train_initial_state(PaperScenario(params), train_ticks=train_ticks)
+        _TRAINING_CACHE[key] = result
+    return result
+
+
+def clear_training_cache() -> None:
+    """Drop every memoized training (mainly for tests and long sessions)."""
+    _TRAINING_CACHE.clear()
 
 
 def run_scheme(
@@ -194,9 +223,7 @@ def run_comparison(
     **executor_overrides,
 ) -> dict[str, RunStats]:
     """Run several schemes over identical arrivals; returns scheme → stats."""
-    training = (
-        train_initial_state(scenario, train_ticks=train_ticks) if train else None
-    )
+    training = cached_training(scenario.params, train_ticks) if train else None
     return {
         scheme: run_scheme(
             scenario,

@@ -19,7 +19,7 @@ worker or in-process (``workers=0``), which the tests assert.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.engine.kernel import (
     default_partitioner,
@@ -30,7 +30,7 @@ from repro.engine.metrics import MetricsRegistry, RegistrySnapshot, merge_snapsh
 from repro.engine.resources import DegradationPolicy
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
-from repro.experiments.harness import run_scheme, train_initial_state
+from repro.experiments.harness import TrainingResult, cached_training, run_scheme
 from repro.workloads.scenarios import PaperScenario, ScenarioParams
 
 
@@ -47,6 +47,14 @@ class RunSpec:
     attaches a :class:`~repro.engine.metrics.MetricsRegistry` and ships its
     frozen snapshot back on the outcome (metrics are observer-effect-free,
     so the stats are identical either way).
+
+    ``training`` optionally carries a precomputed (picklable)
+    :class:`~repro.experiments.harness.TrainingResult` to the worker, so a
+    pool run trains once per distinct ``(params, train_ticks)`` instead of
+    once per worker; :func:`run_parallel` fills it automatically.  Training
+    is deterministic, so a shipped result is bit-identical to an in-worker
+    retrain — and the field is excluded from equality/hashing (it is a
+    cache, not part of the run's identity).
     """
 
     params: ScenarioParams
@@ -64,6 +72,7 @@ class RunSpec:
     partitions: int = 1  # independent hash-partitioned kernels per run
     index_backend: str | None = None  # registry backend override (None = scheme default)
     migration_budget: int | None = None  # tuples moved per tick (None = stop-the-world)
+    training: TrainingResult | None = field(default=None, compare=False, repr=False)
 
     def display_label(self) -> str:
         """The spec's name in result listings."""
@@ -94,6 +103,39 @@ class RunOutcome:
 _PartitionResult = tuple[RunStats, tuple[EngineEvent, ...], RegistrySnapshot | None]
 
 
+def _resolve_training(spec: RunSpec) -> "TrainingResult | None":
+    """The spec's training: shipped with the spec, else memoized locally.
+
+    The memo (:func:`~repro.experiments.harness.cached_training`) makes
+    even the fallback path train once per ``(params, train_ticks)`` within
+    a process — e.g. the partitions of one spec, or serial sweeps that did
+    not go through :func:`run_parallel`.
+    """
+    if not spec.train:
+        return None
+    if spec.training is not None:
+        return spec.training
+    return cached_training(spec.params, spec.train_ticks)
+
+
+def _share_training(specs: list[RunSpec]) -> list[RunSpec]:
+    """Attach one :class:`TrainingResult` per distinct training key.
+
+    Specs that already carry a training (or do not train) pass through
+    unchanged; the rest get the memoized result so pool workers receive it
+    by pickle instead of re-running the training workload.
+    """
+    out = []
+    for spec in specs:
+        if not spec.train or spec.training is not None:
+            out.append(spec)
+        else:
+            out.append(
+                replace(spec, training=cached_training(spec.params, spec.train_ticks))
+            )
+    return out
+
+
 def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
     """Run one partition of one spec, fully rebuilt by value.
 
@@ -104,9 +146,7 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
     which process or order partitions run in).
     """
     scenario = PaperScenario(spec.params)
-    training = (
-        train_initial_state(scenario, train_ticks=spec.train_ticks) if spec.train else None
-    )
+    training = _resolve_training(spec)
     log = EventLog()
     registry = MetricsRegistry() if spec.collect_metrics else None
     initial_configs = training.configs if training is not None else None
@@ -171,9 +211,7 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
             spec, [_run_partition(spec, i) for i in range(spec.partitions)]
         )
     scenario = PaperScenario(spec.params)
-    training = (
-        train_initial_state(scenario, train_ticks=spec.train_ticks) if spec.train else None
-    )
+    training = _resolve_training(spec)
     log = EventLog()
     registry = MetricsRegistry() if spec.collect_metrics else None
     stats = run_scheme(
@@ -229,6 +267,7 @@ def run_parallel(specs: list[RunSpec], *, workers: int = 4) -> list[RunOutcome]:
         return []
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
+    specs = _share_training(specs)
     if workers == 0 or len(specs) == 1:
         return [execute_spec(spec) for spec in specs]
     with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
@@ -246,10 +285,11 @@ def compare_parallel(
 ) -> dict[str, RunStats]:
     """Parallel analogue of :func:`repro.experiments.harness.run_comparison`.
 
-    Each scheme runs in its own process over identical arrivals.  (Training
-    is repeated per worker — it is deterministic, so results match the
-    serial path exactly; the redundant work is the price of zero shared
-    state.)
+    Each scheme runs in its own process over identical arrivals.  The
+    quasi-training runs once up front (all specs share one training key)
+    and ships to every worker on its spec — training is deterministic, so
+    results match the serial path exactly, now without the per-worker
+    retrain the old implementation paid.
     """
     specs = [
         RunSpec(params, scheme, ticks, train=train, train_ticks=train_ticks)

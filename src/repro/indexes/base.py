@@ -23,6 +23,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.probe_plan import compile_matcher
 
 
 @dataclass(frozen=True)
@@ -101,7 +102,7 @@ class Accountant:
         return self.cost(params) - before.cost(params)
 
 
-@dataclass
+@dataclass(slots=True)
 class SearchOutcome:
     """Result of one index probe: the matches plus what the probe cost."""
 
@@ -187,6 +188,23 @@ class StateIndex(abc.ABC):
         for name in ap.attributes:
             if name not in values:
                 raise KeyError(f"probe values missing attribute {name!r} required by {ap!r}")
+
+    def _probe_matcher(self, ap: AccessPattern, values: Mapping[str, object]):
+        """``_check_probe`` plus the compiled matcher, in one pass.
+
+        The hot-path spelling for implementations: same JAS/presence
+        checks with the same error messages, but the attribute tuple comes
+        from the memoized :func:`~repro.core.probe_plan.compile_matcher`
+        instead of the per-call ``ap.attributes`` property walk, and the
+        returned matcher carries a specialised equality filter.
+        """
+        if ap.jas is not self.jas and ap.jas != self.jas:
+            raise ValueError(f"probe pattern {ap!r} ranges over a different JAS than this index")
+        matcher = compile_matcher(ap)
+        for name in matcher.attributes:
+            if name not in values:
+                raise KeyError(f"probe values missing attribute {name!r} required by {ap!r}")
+        return matcher
 
     @staticmethod
     def _matches(item: Mapping[str, object], ap: AccessPattern, values: Mapping[str, object]) -> bool:

@@ -31,16 +31,20 @@ HashKey = tuple[object, ...]
 class _AccessModule:
     """One hash index over a fixed attribute combination."""
 
-    __slots__ = ("pattern", "table")
+    __slots__ = ("pattern", "attributes", "n_attributes", "table")
 
     def __init__(self, pattern: AccessPattern) -> None:
         if pattern.is_full_scan:
             raise ValueError("an access module must index at least one attribute")
         self.pattern = pattern
+        # Hoisted from the pattern: ``attributes`` is a derived property
+        # walked on every key computation otherwise.
+        self.attributes = pattern.attributes
+        self.n_attributes = pattern.n_attributes
         self.table: dict[HashKey, dict[int, Mapping[str, object]]] = {}
 
     def key_for(self, item: Mapping[str, object]) -> HashKey:
-        return tuple(item[a] for a in self.pattern.attributes)
+        return tuple(item[a] for a in self.attributes)
 
     def add(self, item: Mapping[str, object]) -> None:
         self.table.setdefault(self.key_for(item), {})[id(item)] = item
@@ -54,7 +58,7 @@ class _AccessModule:
                 del self.table[key]
 
     def lookup(self, values: Mapping[str, object]) -> dict[int, Mapping[str, object]]:
-        key = tuple(values[a] for a in self.pattern.attributes)
+        key = tuple(values[a] for a in self.attributes)
         return self.table.get(key, {})
 
 
@@ -80,6 +84,9 @@ class MultiHashIndex(StateIndex):
         super().__init__(jas, accountant, cost_params)
         self._items: dict[int, Mapping[str, object]] = {}
         self._modules: dict[int, _AccessModule] = {}
+        # request mask -> most suitable module (or None); derived from the
+        # module set, so it drops whenever modules are added or removed.
+        self._suitable: dict[int, _AccessModule | None] = {}
         for ap in patterns:
             self._add_module(ap, bulk_build=False)
 
@@ -110,6 +117,7 @@ class MultiHashIndex(StateIndex):
             return
         module = _AccessModule(ap)
         self._modules[ap.mask] = module
+        self._suitable.clear()
         acct = self.accountant
         if bulk_build:
             for item in self._items.values():
@@ -121,6 +129,7 @@ class MultiHashIndex(StateIndex):
 
     def _drop_module(self, mask: int) -> None:
         del self._modules[mask]
+        self._suitable.clear()
         self.accountant.index_bytes -= len(self._items) * self.cost_params.index_entry_bytes
 
     def set_patterns(self, patterns: Iterable[AccessPattern]) -> None:
@@ -150,7 +159,7 @@ class MultiHashIndex(StateIndex):
         acct.index_bytes += self.cost_params.bucket_slot_bytes
         for module in self._modules.values():
             module.add(item)
-            acct.hashes += module.pattern.n_attributes
+            acct.hashes += module.n_attributes
             acct.index_bytes += self.cost_params.index_entry_bytes
 
     def remove(self, item: Mapping[str, object]) -> None:
@@ -162,7 +171,7 @@ class MultiHashIndex(StateIndex):
         acct.index_bytes -= self.cost_params.bucket_slot_bytes
         for module in self._modules.values():
             module.discard(item)
-            acct.hashes += module.pattern.n_attributes  # keys recomputed to locate entries
+            acct.hashes += module.n_attributes  # keys recomputed to locate entries
             acct.index_bytes -= self.cost_params.index_entry_bytes
 
     def contains(self, item: Mapping[str, object]) -> bool:
@@ -180,22 +189,33 @@ class MultiHashIndex(StateIndex):
 
         Returns ``None`` when no module's attributes are a subset of the
         request's — the full-scan case.  Ties break toward the lowest mask
-        for determinism.
+        for determinism.  The choice depends only on the request mask and
+        the module set, so it is cached until the modules change.
         """
         self._check_pattern(ap)
+        try:
+            return self._suitable[ap.mask]
+        except KeyError:
+            pass
         best: _AccessModule | None = None
         for mask in sorted(self._modules):
             if mask & ap.mask != mask:
                 continue  # indexes an attribute the request does not specify
             module = self._modules[mask]
-            if best is None or module.pattern.n_attributes > best.pattern.n_attributes:
+            if best is None or module.n_attributes > best.n_attributes:
                 best = module
+        self._suitable[ap.mask] = best
         return best
 
     def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
-        self._check_probe(ap, values)
+        matcher = self._probe_matcher(ap, values)
         acct = self.accountant
-        module = None if ap.is_full_scan else self.most_suitable_module(ap)
+        if matcher.is_full_scan:
+            module = None
+        else:
+            module = self._suitable.get(ap.mask, self)
+            if module is self:  # not cached yet (sentinel: self is never a module)
+                module = self.most_suitable_module(ap)
         outcome = SearchOutcome()
         if module is None:
             examined = len(self._items)
@@ -206,7 +226,7 @@ class MultiHashIndex(StateIndex):
             outcome.used_full_scan = True
             pool: Iterable[Mapping[str, object]] = self._items.values()
         else:
-            acct.hashes += module.pattern.n_attributes
+            acct.hashes += module.n_attributes
             bucket = module.lookup(values)
             examined = len(bucket)
             acct.tuples_examined += examined
@@ -214,10 +234,7 @@ class MultiHashIndex(StateIndex):
             outcome.tuples_examined = examined
             outcome.buckets_visited = 1
             pool = bucket.values()
-        if ap.is_full_scan:
-            outcome.matches = list(pool)
-        else:
-            outcome.matches = [item for item in pool if self._matches(item, ap, values)]
+        outcome.matches = matcher.select(pool, values)
         return outcome
 
     def describe(self) -> str:

@@ -75,10 +75,10 @@ class InvertedListIndex(StateIndex):
         return id(item) in self._items
 
     def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
-        self._check_probe(ap, values)
+        matcher = self._probe_matcher(ap, values)
         acct = self.accountant
         outcome = SearchOutcome()
-        if ap.is_full_scan:
+        if matcher.is_full_scan:
             examined = len(self._items)
             acct.tuples_examined += examined
             acct.buckets_visited += 1
@@ -89,7 +89,7 @@ class InvertedListIndex(StateIndex):
             return outcome
         # Fetch each attribute's posting list; intersect smallest-first.
         postings = []
-        for name in ap.attributes:
+        for name in matcher.attributes:
             acct.hashes += 1
             postings.append(self._lists[name].get(values[name], {}))
         postings.sort(key=len)

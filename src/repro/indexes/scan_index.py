@@ -46,7 +46,7 @@ class ScanIndex(StateIndex):
         return id(item) in self._items
 
     def search(self, ap: AccessPattern, values: Mapping[str, object]) -> SearchOutcome:
-        self._check_probe(ap, values)
+        matcher = self._probe_matcher(ap, values)
         examined = len(self._items)
         acct = self.accountant
         acct.tuples_examined += examined
@@ -54,10 +54,5 @@ class ScanIndex(StateIndex):
         outcome = SearchOutcome(
             buckets_visited=1, tuples_examined=examined, used_full_scan=True
         )
-        if ap.is_full_scan:
-            outcome.matches = list(self._items.values())
-        else:
-            outcome.matches = [
-                item for item in self._items.values() if self._matches(item, ap, values)
-            ]
+        outcome.matches = matcher.select(self._items.values(), values)
         return outcome

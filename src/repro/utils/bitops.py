@@ -10,7 +10,9 @@ deterministic 64-bit mixer so that runs are reproducible across processes
 
 from __future__ import annotations
 
+import struct
 from collections.abc import Iterable, Iterator
+from functools import lru_cache
 
 _MASK64 = (1 << 64) - 1
 
@@ -124,8 +126,6 @@ def stable_value_hash(value: object) -> int:
         # always land in the same bucket.
         if value == 0.0:
             value = 0.0
-        import struct
-
         (bits,) = struct.unpack("<Q", struct.pack("<d", value))
         return splitmix64(bits)
     if isinstance(value, str):
@@ -140,6 +140,34 @@ def stable_value_hash(value: object) -> int:
     return splitmix64(h)
 
 
+@lru_cache(maxsize=65536)
+def _cached_value_hash(value_type: type, value: object) -> int:
+    """LRU-memoized :func:`stable_value_hash`, keyed by ``(type, value)``.
+
+    The type belongs in the key because equal-and-equal-hash values of
+    different types hash *differently* here (``True == 1`` and
+    ``1.0 == 1``, but bools mix through a tag and floats through their
+    IEEE bit pattern) — a value-only cache would conflate them.  The one
+    same-type conflation, ``-0.0`` with ``0.0``, is safe:
+    ``stable_value_hash`` normalises them to the same fragment anyway.
+    """
+    return stable_value_hash(value)
+
+
+def memoized_value_hash(value: object) -> int:
+    """:func:`stable_value_hash` through the process-wide LRU cache.
+
+    Stream workloads draw attribute values from bounded domains, so the
+    insert/probe hot paths hit this cache almost always.  Unhashable
+    values (which ``stable_value_hash`` rejects with its own ``TypeError``)
+    fall through to the uncached function for the canonical error.
+    """
+    try:
+        return _cached_value_hash(type(value), value)
+    except TypeError:
+        return stable_value_hash(value)
+
+
 def fragment(value: object, n_bits: int) -> int:
     """Map an attribute value to an ``n_bits``-wide bucket fragment.
 
@@ -150,4 +178,4 @@ def fragment(value: object, n_bits: int) -> int:
         raise ValueError(f"n_bits must be >= 0, got {n_bits}")
     if n_bits == 0:
         return 0
-    return stable_value_hash(value) & ((1 << n_bits) - 1)
+    return memoized_value_hash(value) & ((1 << n_bits) - 1)

@@ -1,18 +1,25 @@
 """Tests for parallel experiment execution."""
 
 import pickle
+from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.experiments.harness import (
+    cached_training,
+    clear_training_cache,
+    train_initial_state,
+)
 from repro.experiments.parallel import (
     RunSpec,
+    _share_training,
     compare_parallel,
     execute_spec,
     run_parallel,
 )
-from repro.workloads.scenarios import ScenarioParams
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
 
 FAST = ScenarioParams(seed=3, capacity=1e9, memory_budget=1 << 30)
 
@@ -156,6 +163,81 @@ class TestFaultedDeterminism:
             assert a.spec == b.spec
             assert a.stats == b.stats
             assert a.events == b.events
+
+
+class TestSharedTraining:
+    """Acceptance: a pool run fed one shared TrainingResult is bit-identical
+    to the workers=0 path that retrains in-process."""
+
+    PARAMS = ScenarioParams(seed=21, capacity=1e9, memory_budget=1 << 30)
+
+    def trained_spec(self, scheme, *, params=None):
+        return RunSpec(params or self.PARAMS, scheme, 15, train=True, train_ticks=20)
+
+    def test_training_is_a_cache_not_identity(self):
+        """Attaching a training must not change equality, hashing, or repr —
+        existing pickled/compared specs stay compatible."""
+        bare = self.trained_spec("amri:sria")
+        training = cached_training(self.PARAMS, 20)
+        loaded = replace(bare, training=training)
+        assert loaded == bare
+        assert hash(loaded) == hash(bare)
+        assert "training" not in repr(loaded)
+
+    def test_spec_with_training_pickles(self):
+        s = replace(self.trained_spec("scan"), training=cached_training(self.PARAMS, 20))
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s
+        assert clone.training.configs == s.training.configs
+
+    def test_cached_training_memoizes_per_key(self):
+        clear_training_cache()
+        first = cached_training(self.PARAMS, 20)
+        assert cached_training(self.PARAMS, 20) is first
+        assert cached_training(self.PARAMS, 25) is not first
+        clear_training_cache()
+        assert cached_training(self.PARAMS, 20) is not first
+
+    def test_share_training_attaches_one_result_per_key(self):
+        specs = [
+            self.trained_spec("amri:sria"),
+            self.trained_spec("scan"),
+            RunSpec(self.PARAMS, "scan", 15, train=False),
+        ]
+        shared = _share_training(specs)
+        assert shared[0].training is shared[1].training  # same key -> same object
+        assert shared[2].training is None  # untrained specs pass through
+        assert _share_training(shared)[0].training is shared[0].training
+
+    def test_cached_training_matches_direct_retrain(self):
+        clear_training_cache()
+        direct = train_initial_state(PaperScenario(self.PARAMS), train_ticks=20)
+        cached = cached_training(self.PARAMS, 20)
+        assert cached.configs == direct.configs
+        assert cached.frequencies == direct.frequencies
+
+    def test_pool_with_shared_training_matches_serial_retrain(self):
+        specs = [self.trained_spec(s) for s in ("amri:sria", "scan", "hash:2")]
+        clear_training_cache()
+        serial = run_parallel(specs, workers=0)
+        clear_training_cache()
+        pooled = run_parallel(specs, workers=3)
+        for a, b in zip(serial, pooled):
+            assert a.stats == b.stats
+            assert a.events == b.events
+            assert pickle.dumps(a.stats) == pickle.dumps(b.stats)
+
+    def test_shipped_training_matches_in_worker_retrain(self):
+        """The pre-shared path must equal what a worker computed on its own
+        before this optimisation (spec without a training attached)."""
+        spec = self.trained_spec("amri:cdia-highest")
+        clear_training_cache()
+        retrained = execute_spec(spec)  # resolves via in-process training
+        shipped = execute_spec(
+            replace(spec, training=cached_training(self.PARAMS, 20))
+        )
+        assert shipped.stats == retrained.stats
+        assert shipped.events == retrained.events
 
 
 class TestCompareParallel:

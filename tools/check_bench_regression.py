@@ -13,16 +13,51 @@ more expensive and the check exits 1.
 snapshot (JSONL, via :mod:`repro.engine.metrics_export`) so CI can upload
 it as an artifact alongside the raw benchmark JSON.
 
-Wall-clock stats are reported for context but never gate: CI runners are
-too noisy for timing thresholds to be trustworthy.
+Wall-clock stats are reported for context but never gate in this mode: CI
+runners are too noisy for tight timing thresholds to be trustworthy.
+
+``--wall`` switches both inputs to ``bench-wall/v1`` documents (from
+``tools/bench_wall.py``) and compares best-of-N wall seconds on the
+**micro paths only** (``bench_wall.MICRO_PATHS`` — insert/probe/migrate
+kernels, no experiment-scale runs).  The tolerance is deliberately loose
+(default 25%, ``--tolerance`` overrides): it will not catch a 5% slowdown,
+but it does catch an optimisation being accidentally reverted — which on
+these paths costs 2x+, far outside runner noise.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import sys
 from pathlib import Path
+
+
+def _micro_paths() -> tuple[str, ...]:
+    """The gated micro benchmarks, as declared by the wall bench tool."""
+    tool = Path(__file__).resolve().parent / "bench_wall.py"
+    spec = importlib.util.spec_from_file_location("bench_wall", tool)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.MICRO_PATHS
+
+
+def load_wall_seconds(path: Path, label: str) -> dict[str, float]:
+    """Micro-path wall times (in ms, for readable output) from one run
+    label of a ``bench-wall/v1`` doc."""
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != "bench-wall/v1":
+        raise SystemExit(f"{path}: not a bench-wall/v1 document")
+    runs = doc.get("runs", {})
+    if label not in runs:
+        raise SystemExit(f"{path}: no run labelled {label!r} (have {sorted(runs)})")
+    micro = _micro_paths()
+    return {
+        name: float(bench["seconds"]) * 1e3
+        for name, bench in runs[label]["benchmarks"].items()
+        if name in micro
+    }
 
 
 def load_cost_units(path: Path) -> dict[str, float]:
@@ -106,42 +141,61 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.05,
-        help="max tolerated relative cost-unit increase (default 0.05)",
+        default=None,
+        help="max tolerated relative increase (default 0.05; 0.25 with --wall)",
     )
     parser.add_argument(
         "--metrics", type=Path, default=None, help="write comparison as metrics JSONL"
     )
+    parser.add_argument(
+        "--wall",
+        action="store_true",
+        help="inputs are bench-wall/v1 docs; gate wall seconds on micro paths",
+    )
+    parser.add_argument(
+        "--baseline-label", default="after", help="run label in the baseline wall doc"
+    )
+    parser.add_argument(
+        "--new-label", default="ci", help="run label in the new wall doc"
+    )
     args = parser.parse_args(argv)
+    unit = "wall-ms" if args.wall else "cost-unit"
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = 0.25 if args.wall else 0.05
 
-    baseline = load_cost_units(args.baseline)
-    new = load_cost_units(args.new)
+    if args.wall:
+        baseline = load_wall_seconds(args.baseline, args.baseline_label)
+        new = load_wall_seconds(args.new, args.new_label)
+    else:
+        baseline = load_cost_units(args.baseline)
+        new = load_cost_units(args.new)
     if not baseline or not new:
         print(
-            "no cost_units extra_info found to compare "
+            f"no {unit} series found to compare "
             f"(baseline: {len(baseline)} series, new: {len(new)} series)",
             file=sys.stderr,
         )
         return 1
 
-    regressions, messages = compare(baseline, new, args.tolerance)
+    regressions, messages = compare(baseline, new, tolerance)
     for line in messages:
         print(line)
     for name, base, cur, rel in regressions:
         print(f"REGRESSED {name}: {base:,.2f} -> {cur:,.2f} ({rel:+.1%})")
 
-    if args.metrics is not None:
+    if args.metrics is not None and not args.wall:
         write_metrics_jsonl(args.metrics, baseline, new, load_mean_seconds(args.new))
         print(f"metrics written to {args.metrics}")
 
     if regressions:
         print(
             f"\n{len(regressions)} benchmark(s) regressed beyond "
-            f"{args.tolerance:.0%} cost-unit tolerance",
+            f"{tolerance:.0%} {unit} tolerance",
             file=sys.stderr,
         )
         return 1
-    print(f"\nall {len(new)} comparable benchmarks within {args.tolerance:.0%} tolerance")
+    print(f"\nall {len(new)} comparable benchmarks within {tolerance:.0%} tolerance")
     return 0
 
 
