@@ -41,6 +41,16 @@ class TestMicroPaths:
     def test_bit_index_migrate(self, benchmark):
         assert run_once(benchmark, bench_wall.bench_bit_index_migrate) == 10
 
+    def test_probe_plane_serial(self, benchmark):
+        idx = bench_wall.populated_bit_index()
+        assert benchmark(bench_wall.bench_probe_plane_serial, idx) == bench_wall.N_PROBES
+
+    def test_probe_plane_batch64(self, benchmark):
+        idx = bench_wall.populated_bit_index()
+        assert (
+            benchmark(bench_wall.bench_probe_plane_batch64, idx) == bench_wall.N_PROBES
+        )
+
 
 class TestEndToEnd:
     """Experiment-scale runs: timed once, like the figure benchmarks."""
@@ -75,6 +85,35 @@ class TestSpeedupProperties:
             # slots-only classes carry no per-instance __dict__ at all
             assert cls.__dictoffset__ == 0, cls.__name__
 
+    def test_batch_probe_plane_is_bit_identical_on_the_bench_workload(self):
+        """The timed comparison is fair: batch64 does the same logical work
+        (same outcomes, same accountant) as the serial probe plane."""
+        ap, rows = bench_wall.zipf_probe_workload(320)
+        serial_idx = bench_wall.populated_bit_index()
+        serial = [serial_idx.search(ap, values) for values in rows]
+        batch_idx = bench_wall.populated_bit_index()
+        batched = []
+        for start in range(0, len(rows), bench_wall.BATCH_SIZE):
+            batched.extend(
+                batch_idx.search_batch(ap, rows[start : start + bench_wall.BATCH_SIZE])
+            )
+        for a, b in zip(serial, batched):
+            assert b.matches == a.matches
+            assert b.tuples_examined == a.tuples_examined
+            assert b.buckets_visited == a.buckets_visited
+        assert batch_idx.accountant == serial_idx.accountant
+
+    def test_zipf_workload_is_skewed_enough_to_dedup(self):
+        """The batch win comes from row dedup: a 64-row chunk of the skewed
+        workload repeats most of its rows."""
+        _, rows = bench_wall.zipf_probe_workload()
+        size = bench_wall.BATCH_SIZE
+        chunks = [rows[i : i + size] for i in range(0, len(rows) - size + 1, size)]
+        distinct = [
+            len({tuple(sorted(r.items())) for r in chunk}) for chunk in chunks
+        ]
+        assert sum(distinct) / len(distinct) < size / 2
+
     def test_footprint_measurement_covers_the_slotted_classes(self):
         footprint = bench_wall.measure_footprint()
         assert set(footprint) == {
@@ -105,3 +144,10 @@ class TestCommittedEvidence:
         speedup = self.doc()["speedup"]
         assert speedup["bit_index_probe"] >= 1.5
         assert speedup["end_to_end_scenario"] >= 1.5
+
+    def test_batch_plane_speedup_recorded(self):
+        """The batch data plane's acceptance evidence: >=1.5x probe-stage
+        throughput at batch size 64 vs serial, measured within one run."""
+        batch_speedup = self.doc()["batch_speedup"]
+        assert batch_speedup["after"] >= 1.5
+        assert batch_speedup["before"] >= 1.5

@@ -112,10 +112,17 @@ class AMRExecutor:
         Backlog-drain policy: a :class:`~repro.engine.kernel.Scheduler`,
         a registry name (``"fifo"``, ``"backlog"``), or ``None`` for the
         historical FIFO drain.
+    batch_size:
+        Probe rows per batched index call.  ``None`` (the default) keeps
+        the serial per-tuple pipeline; an integer ``>= 1`` swaps in the
+        vectorized batch data plane
+        (:func:`~repro.engine.kernel.batched_stages`), which is
+        bit-identical to serial at every size — only wall-clock changes.
     stages:
         A custom stage pipeline replacing
-        :func:`~repro.engine.kernel.default_stages` (``scheduler`` is then
-        ignored — the pipeline's own :class:`RouteProbeStage` carries it).
+        :func:`~repro.engine.kernel.default_stages` (``scheduler`` and
+        ``batch_size`` are then ignored — the pipeline's own
+        :class:`RouteProbeStage` carries them).
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class AMRExecutor:
         degradation: DegradationPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         scheduler: Scheduler | str | None = None,
+        batch_size: int | None = None,
         stages: Sequence[Stage] | None = None,
     ) -> None:
         self._ctx = EngineContext(
@@ -152,11 +160,16 @@ class AMRExecutor:
             degradation=degradation,
             metrics=metrics,
         )
-        self._kernel = EngineKernel(
-            self._ctx,
-            stages if stages is not None else default_stages(scheduler),
-            host=self,
-        )
+        if stages is not None:
+            pipeline = stages
+        elif batch_size is not None:
+            check_positive("batch_size", batch_size)
+            from repro.engine.kernel.batch import batched_stages
+
+            pipeline = batched_stages(scheduler, batch_size)
+        else:
+            pipeline = default_stages(scheduler)
+        self._kernel = EngineKernel(self._ctx, pipeline, host=self)
 
     # ------------------------------------------------------------------ #
     # kernel access

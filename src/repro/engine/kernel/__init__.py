@@ -26,6 +26,15 @@ monolith (held to committed goldens by
 ``tests/integration/test_golden_equivalence.py``).
 """
 
+from repro.engine.kernel.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchArrivalStage,
+    BatchExpiryStage,
+    BatchRouteProbeStage,
+    TupleBatch,
+    assemble_batches,
+    batched_stages,
+)
 from repro.engine.kernel.context import EngineContext
 from repro.engine.kernel.kernel import EngineKernel, default_stages
 from repro.engine.kernel.partition import (
@@ -58,6 +67,10 @@ __all__ = [
     "ArrivalStage",
     "AuditStage",
     "BacklogAwareScheduler",
+    "BatchArrivalStage",
+    "BatchExpiryStage",
+    "BatchRouteProbeStage",
+    "DEFAULT_BATCH_SIZE",
     "EngineContext",
     "EngineKernel",
     "ExpiryStage",
@@ -71,7 +84,10 @@ __all__ = [
     "ShedDegradeStage",
     "Stage",
     "TickState",
+    "TupleBatch",
     "TuningStage",
+    "assemble_batches",
+    "batched_stages",
     "default_partitioner",
     "default_stages",
     "merge_event_timelines",

@@ -69,6 +69,7 @@ class RunSpec:
     degrade: bool = False
     collect_metrics: bool = False
     scheduler: str | None = None  # backlog-drain policy name (None = fifo)
+    batch_size: int | None = None  # batched data plane width (None = serial)
     partitions: int = 1  # independent hash-partitioned kernels per run
     index_backend: str | None = None  # registry backend override (None = scheme default)
     migration_budget: int | None = None  # tuples moved per tick (None = stop-the-world)
@@ -163,6 +164,7 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
         degradation=DegradationPolicy() if spec.degrade else None,
         metrics=registry,
         scheduler=spec.scheduler,
+        batch_size=spec.batch_size,
         index_backend=spec.index_backend,
         migration_budget=spec.migration_budget,
     )
@@ -226,6 +228,7 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         degradation=DegradationPolicy() if spec.degrade else None,
         metrics=registry,
         scheduler=spec.scheduler,
+        batch_size=spec.batch_size,
         index_backend=spec.index_backend,
         migration_budget=spec.migration_budget,
     )

@@ -149,6 +149,13 @@ def main(argv: list[str] | None = None) -> int:
         help="hash-partition each scheme across K independent kernels (1 = off)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="probe rows per batched index call (vectorized data plane; "
+        "default: serial per-tuple pipeline; results are bit-identical)",
+    )
+    parser.add_argument(
         "--index-backend",
         default=None,
         help="override every state's physical index with a registered backend "
@@ -183,6 +190,8 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
     if args.migration_budget is not None and args.migration_budget < 1:
         parser.error(f"--migration-budget must be >= 1, got {args.migration_budget}")
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
 
     scenario = build_scenario(args.scenario, args.seed)
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
@@ -211,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
                 degradation=degradation,
                 metrics=MetricsRegistry if want_metrics else None,
                 scheduler=args.scheduler,
+                batch_size=args.batch_size,
                 index_backend=args.index_backend,
                 migration_budget=args.migration_budget,
             )
@@ -231,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
             degradation=degradation,
             metrics=registry,
             scheduler=args.scheduler,
+            batch_size=args.batch_size,
             index_backend=args.index_backend,
             migration_budget=args.migration_budget,
         )

@@ -155,6 +155,27 @@ class StateIndex(abc.ABC):
         full-scan pattern returns every stored item.
         """
 
+    def search_batch(
+        self, ap: AccessPattern, values_list: list[Mapping[str, object]]
+    ) -> list[SearchOutcome]:
+        """Probe the same access pattern with a whole column of value rows.
+
+        Returns one :class:`SearchOutcome` per entry of ``values_list``, in
+        order.  The contract is **bit-identity with the serial path**: the
+        outcomes, the accountant counter totals, and every raised error must
+        be exactly what ``[self.search(ap, v) for v in values_list]`` would
+        produce.  Implementations may aggregate integer counter increments
+        and share work between identical probe rows (the accountant only
+        ever observes counter totals between engine observation points), but
+        must not change *what* is charged or matched.
+
+        This base implementation is the literal serial loop — trivially
+        correct for any backend; hot backends override it with vectorized
+        versions.
+        """
+        search = self.search
+        return [search(ap, values) for values in values_list]
+
     def contains(self, item: Mapping[str, object]) -> bool:
         """Whether ``item`` is currently stored (identity-based, free).
 

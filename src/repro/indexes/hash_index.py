@@ -237,6 +237,81 @@ class MultiHashIndex(StateIndex):
         outcome.matches = matcher.select(pool, values)
         return outcome
 
+    def search_batch(
+        self, ap: AccessPattern, values_list: list[Mapping[str, object]]
+    ) -> list[SearchOutcome]:
+        """Vectorized :meth:`search`: the module choice depends only on the
+        pattern, so it is resolved once per batch; per-row charges are
+        aggregated and equal value rows share one lookup + selection."""
+        outcomes: list[SearchOutcome] = []
+        if not values_list:
+            return outcomes
+        matcher = self._probe_matcher(ap, values_list[0])
+        attrs = matcher.attributes
+        for values in values_list[1:]:
+            for name in attrs:
+                if name not in values:
+                    raise KeyError(
+                        f"probe values missing attribute {name!r} required by {ap!r}"
+                    )
+        n = len(values_list)
+        acct = self.accountant
+        if matcher.is_full_scan:
+            module = None
+        else:
+            module = self._suitable.get(ap.mask, self)
+            if module is self:  # not cached yet (sentinel: self is never a module)
+                module = self.most_suitable_module(ap)
+        select = matcher.select
+        if module is None:
+            examined = len(self._items)
+            acct.tuples_examined += examined * n
+            acct.buckets_visited += n
+            pool = list(self._items.values())
+            cache: dict[tuple, list] = {}
+            for values in values_list:
+                vkey = tuple(values[a] for a in attrs)
+                try:
+                    matches = cache.get(vkey)
+                except TypeError:  # unhashable row: compute uncached
+                    vkey = None
+                    matches = None
+                if matches is None:
+                    matches = select(pool, values)
+                    if vkey is not None:
+                        cache[vkey] = matches
+                outcome = SearchOutcome(used_full_scan=True)
+                outcome.tuples_examined = examined
+                outcome.buckets_visited = 1
+                outcome.matches = matches
+                outcomes.append(outcome)
+            return outcomes
+
+        acct.hashes += module.n_attributes * n
+        acct.buckets_visited += n
+        lookup = module.lookup
+        cache = {}
+        for values in values_list:
+            vkey = tuple(values[a] for a in attrs)
+            try:
+                hit = cache.get(vkey)
+            except TypeError:  # unhashable row: compute uncached
+                vkey = None
+                hit = None
+            if hit is None:
+                bucket = lookup(values)
+                hit = (select(bucket.values(), values), len(bucket))
+                if vkey is not None:
+                    cache[vkey] = hit
+            matches, examined = hit
+            acct.tuples_examined += examined
+            outcome = SearchOutcome()
+            outcome.tuples_examined = examined
+            outcome.buckets_visited = 1
+            outcome.matches = matches
+            outcomes.append(outcome)
+        return outcomes
+
     def describe(self) -> str:
         pats = ", ".join(repr(m.pattern) for m in self._modules.values())
         return f"MultiHashIndex([{pats}], size={len(self._items)})"

@@ -187,6 +187,29 @@ class StateStore:
             return self.index.search(ap, values)
         return merge_outcomes(draining.search(ap, values), self.index.search(ap, values))
 
+    def probe_batch(
+        self, ap: AccessPattern, values_list: list[Mapping[str, object]]
+    ) -> list[SearchOutcome]:
+        """Execute a column of same-pattern search requests against the state.
+
+        Bit-identical to ``[self.probe(ap, v) for v in values_list]``: the
+        tuner assessor records one observation per request (pattern-only —
+        the assessor never sees probe values), and during a drain each
+        request's old/new outcomes merge pairwise.  The index-level
+        ``search_batch`` aggregates accountant increments and shares work
+        between equal value rows; the engine only observes counter totals
+        between probes, so the aggregation is invisible to the cost model.
+        """
+        observe = self.tuner.observe
+        for _ in values_list:
+            observe(ap)
+        draining = self.lifecycle.draining
+        if draining is None:
+            return self.index.search_batch(ap, values_list)
+        old_outcomes = draining.search_batch(ap, values_list)
+        new_outcomes = self.index.search_batch(ap, values_list)
+        return [merge_outcomes(o, n) for o, n in zip(old_outcomes, new_outcomes)]
+
     def tune(self, context: TuningContext) -> TuneReport | None:
         """Run one tuning round (delegates to the tuner)."""
         return self.tuner.tune(context)

@@ -309,6 +309,7 @@ class PaperScenario:
         degradation: DegradationPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         scheduler=None,
+        batch_size: int | None = None,
         index_backend: str | None = None,
         migration_budget: int | None = None,
     ) -> AMRExecutor:
@@ -327,6 +328,11 @@ class PaperScenario:
         ``scheduler`` picks the backlog-drain policy (a
         :class:`~repro.engine.kernel.Scheduler` or a registry name such as
         ``"fifo"``/``"backlog"``); ``None`` keeps the historical FIFO drain.
+
+        ``batch_size`` swaps in the vectorized batch data plane
+        (:func:`~repro.engine.kernel.batched_stages`) at the given probe
+        column width; ``None`` keeps the serial per-tuple pipeline.  Both
+        produce bit-identical runs — only wall-clock differs.
 
         ``index_backend`` overrides each state's physical index with a
         named :data:`~repro.storage.BACKENDS` backend; ``migration_budget``
@@ -373,6 +379,7 @@ class PaperScenario:
             degradation=degradation,
             metrics=metrics,
             scheduler=scheduler,
+            batch_size=batch_size,
         )
 
 

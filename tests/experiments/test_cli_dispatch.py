@@ -79,6 +79,29 @@ class TestEngineFlags:
         assert rc == 2
         assert "--partitions must be >= 1" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_batch_size_must_be_positive(self, value, capsys):
+        rc = main_mod.main(["run", "--batch-size", value])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert f"--batch-size must be >= 1, got {value}" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("value", ["2.5", "abc"])
+    def test_batch_size_must_be_an_integer(self, value, capsys):
+        rc = main_mod.main(["run", "--batch-size", value])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "usage" in captured.err.lower()
+        assert "Traceback" not in captured.err
+
+    def test_batched_run_succeeds(self, capsys):
+        rc = run_cli.main(
+            ["--schemes", "scan", "--ticks", "12", "--no-train", "--batch-size", "7"]
+        )
+        assert rc == 0
+        assert "scan" in capsys.readouterr().out
+
     def test_partitioned_backlog_run_succeeds(self, capsys):
         rc = run_cli.main(
             [

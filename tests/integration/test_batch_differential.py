@@ -1,0 +1,223 @@
+"""Batch-vs-serial differential suite: the batch data plane is bit-identical.
+
+The vectorized batch pipeline (:mod:`repro.engine.kernel.batch`) promises
+more than matching join outputs — it promises the *whole observable run* is
+unchanged: every join result, every float of ``cost_total`` and
+``meter.total_spent``, every event in the timeline, every metrics series,
+histogram bucket, and span id.  This suite holds that promise three ways:
+
+- a deterministic matrix over **all five index backends** × batch sizes
+  ``{1, 7, 64, 4096}`` (4096 exceeds both the time window and the
+  count-window capacities used anywhere in the scenario) comparing full
+  run fingerprints against the serial pipeline;
+- a seeded property-based sweep (random scenario seeds × random fault
+  schedules × random batch sizes) doing the same comparison on random
+  workloads;
+- a mid-migration case: a budgeted incremental migration leaves two live
+  structures draining across ticks, and probes during the drain must merge
+  old/new outcomes identically in both pipelines.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.faults import FaultPlan
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.tracing import EventLog
+from repro.experiments.golden import (
+    events_fingerprint,
+    snapshot_fingerprint,
+    stats_fingerprint,
+)
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+#: scheme -> backend it exercises (all five registered index backends).
+SCHEMES = {
+    "amri:sria": "bit_address",
+    "static": "static_bitmap",
+    "hash:2": "multi_hash",
+    "inverted": "inverted",
+    "scan": "scan",
+}
+
+#: The acceptance batch sizes: 1 (degenerate), 7 (odd, non-divisor), 64
+#: (the default), 4096 (larger than any window in the scenario).
+BATCH_SIZES = (1, 7, 64, 4096)
+
+TICKS = 12
+
+# Semantics-preserving perturbations (same plan as test_differential.py),
+# including forced out-of-schedule migrations.
+FAULTS = FaultPlan(
+    burst_prob=0.08,
+    burst_factor=2,
+    burst_len=3,
+    stall_prob=0.06,
+    drop_prob=0.05,
+    delay_prob=0.05,
+    delay_ticks=2,
+    migrate_prob=0.08,
+    corrupt_prob=0.08,
+    corrupt_records=10,
+)
+
+
+def small_params(seed: int) -> ScenarioParams:
+    return ScenarioParams(
+        stream_names=("A", "B", "C"),
+        rate=2,
+        window=4,
+        phase_len=5,
+        domain=6,
+        bit_budget=16,
+        assess_interval=4,
+        capacity=1e12,
+        memory_budget=1 << 40,
+        seed=seed,
+    )
+
+
+def canonical_outputs(outputs) -> dict:
+    """Order/identity-independent multiset of emitted join results."""
+    counts: dict = {}
+    for joined in outputs:
+        key = frozenset(
+            (src.stream, src.arrived_at, tuple(sorted(src.items())))
+            for src in joined.sources
+        )
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def run_fingerprint(seed: int, scheme: str, **overrides) -> dict:
+    """One full-observability run, reduced to a comparable fingerprint."""
+    scenario = PaperScenario(small_params(seed))
+    sink: list = []
+    log = EventLog()
+    registry = MetricsRegistry()
+    executor = scenario.make_executor(
+        scheme,
+        output_sink=sink.extend,
+        event_log=log,
+        metrics=registry,
+        **overrides,
+    )
+    stats = executor.run(TICKS, scenario.make_generator())
+    return {
+        "outputs": canonical_outputs(sink),
+        "stats": stats_fingerprint(stats),
+        "events": events_fingerprint(log),
+        "metrics": snapshot_fingerprint(registry.snapshot()),
+        "meter_total": executor.meter.total_spent,
+    }
+
+
+def assert_identical(serial: dict, batch: dict, context: str) -> None:
+    """Component-wise equality with a readable failure location."""
+    for key in serial:
+        assert batch[key] == serial[key], f"{context}: {key} diverged"
+
+
+# --------------------------------------------------------------------- #
+# deterministic matrix
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    """Serial fingerprints per scheme, computed once for the matrix."""
+    return {scheme: run_fingerprint(7, scheme) for scheme in SCHEMES}
+
+
+class TestBackendMatrix:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_batch_matches_serial(self, serial_runs, scheme, batch_size):
+        batch = run_fingerprint(7, scheme, batch_size=batch_size)
+        assert_identical(
+            serial_runs[scheme],
+            batch,
+            f"{scheme} ({SCHEMES[scheme]}) at batch_size={batch_size}",
+        )
+
+    def test_matrix_is_not_vacuous(self, serial_runs):
+        """The workload actually joins, probes, and spends."""
+        for scheme, fp in serial_runs.items():
+            assert fp["stats"]["probes"] > 0, scheme
+            assert fp["meter_total"] > 0, scheme
+        assert any(sum(fp["outputs"].values()) > 0 for fp in serial_runs.values())
+
+
+# --------------------------------------------------------------------- #
+# seeded property-based sweep
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    fault_seed=st.integers(0, 10_000),
+    batch_size=st.sampled_from(BATCH_SIZES),
+)
+def test_random_workloads_bit_identical(seed, fault_seed, batch_size):
+    """Random scenario × random faults × random batch size: still identical."""
+    for scheme in SCHEMES:
+        serial = run_fingerprint(seed, scheme, faults=FAULTS, fault_seed=fault_seed)
+        batch = run_fingerprint(
+            seed, scheme, faults=FAULTS, fault_seed=fault_seed, batch_size=batch_size
+        )
+        assert_identical(
+            serial, batch, f"seed={seed} faults={fault_seed} {scheme} bs={batch_size}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# mid-migration dual-structure draining
+
+
+#: Migration-heavy perturbations so a tiny per-tick budget reliably leaves
+#: a structure draining across tick boundaries within the short run.
+MIGRATE_FAULTS = FaultPlan(
+    burst_prob=0.08,
+    burst_factor=2,
+    burst_len=3,
+    stall_prob=0.06,
+    drop_prob=0.05,
+    delay_prob=0.05,
+    delay_ticks=2,
+    migrate_prob=0.3,
+    corrupt_prob=0.08,
+    corrupt_records=10,
+)
+
+
+class TestMidMigrationDraining:
+    """Probes while a budgeted migration drains hit both structures; the
+    batched probe column must merge old/new outcomes exactly as serial."""
+
+    OVERRIDES = dict(
+        faults=MIGRATE_FAULTS, fault_seed=0, migration_budget=2, assess_interval=4
+    )
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_fingerprint(3, "amri:cdia-highest", **self.OVERRIDES)
+
+    def test_drain_actually_spans_ticks(self, serial):
+        """At least one migration step left tuples behind (remaining > 0),
+        so later probes genuinely ran against two live structures."""
+        steps = [
+            dict(detail)
+            for _, kind, _, detail in serial["events"]
+            if kind == "migration_step"
+        ]
+        assert steps, "no incremental migration ran; the case is vacuous"
+        assert any(s["remaining"] > 0 for s in steps)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_batch_matches_serial_mid_drain(self, serial, batch_size):
+        batch = run_fingerprint(
+            3, "amri:cdia-highest", batch_size=batch_size, **self.OVERRIDES
+        )
+        assert_identical(serial, batch, f"mid-migration at batch_size={batch_size}")

@@ -1,0 +1,53 @@
+"""The batch data plane replays the committed golden corpus byte-identically.
+
+``test_golden_equivalence.py`` holds the serial pipeline to the corpus
+generated from the pre-kernel monolith; this suite replays the **same
+committed corpus** — never regenerated — through the vectorized batch
+pipeline at several batch sizes.  Passing means the batch plane is
+byte-identical not just to today's serial engine but to the original
+monolith: every RunStats counter, throughput-sample float, event, metric
+series, histogram bucket, and span id.
+
+The corpus file itself must stay untouched: a batch-plane change that
+needs new goldens is by definition not cost-transparent and must be fixed,
+not blessed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import CASES, run_case
+
+GOLDEN_PATH = Path(__file__).parent / "golden_equivalence.json.gz"
+
+#: Degenerate, odd/non-divisor, default, and larger-than-any-window.
+BATCH_SIZES = (1, 7, 64, 4096)
+
+
+def _golden() -> dict:
+    if GOLDEN_PATH.exists():
+        return json.loads(gzip.decompress(GOLDEN_PATH.read_bytes()).decode())
+    return json.loads(GOLDEN_PATH.with_suffix("").read_text())
+
+
+def _diff_keys(golden: dict, fresh: dict) -> list[str]:
+    return [k for k in golden if golden[k] != fresh.get(k)]
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_batch_replay_matches_committed_corpus(case, batch_size):
+    golden = _golden()
+    assert case.name in golden
+    fresh = run_case(case, batch_size=batch_size)
+    expected = golden[case.name]
+    assert _diff_keys(expected, fresh) == [], (
+        f"{case.name} at batch_size={batch_size}: "
+        f"sections differ: {_diff_keys(expected, fresh)}"
+    )
+    assert fresh == expected

@@ -31,6 +31,11 @@ Benchmarks
 - ``parallel_training_shared`` — three same-params specs through
                             ``run_parallel(workers=0)``; the shared
                             training cache collapses 3 trainings into 1
+- ``probe_plane_serial`` / ``probe_plane_batch64`` — the same Zipf-skewed
+                            probe column through per-row ``search`` vs
+                            64-row ``search_batch`` calls; their ratio is
+                            recorded per label under ``batch_speedup``
+                            (the batch data plane's acceptance evidence)
 """
 
 from __future__ import annotations
@@ -51,10 +56,14 @@ from repro.core.access_pattern import AccessPattern, JoinAttributeSet  # noqa: E
 from repro.core.bit_index import make_bit_index  # noqa: E402
 from repro.core.index_config import IndexConfiguration  # noqa: E402
 from repro.indexes.hash_index import MultiHashIndex  # noqa: E402
+from repro.utils.bitops import splitmix64  # noqa: E402
 
 JAS = JoinAttributeSet(["A", "B", "C"])
 N_ITEMS = 2_000
 N_PROBES = 3_000
+BATCH_SIZE = 64
+ZIPF_S = 2.5
+ZIPF_DOMAIN = 256
 
 
 def make_items(n: int = N_ITEMS) -> list[dict]:
@@ -93,6 +102,32 @@ def probe_workload(n: int = N_PROBES) -> list[tuple[AccessPattern, dict]]:
     ]
 
 
+def zipf_probe_workload(n: int = N_PROBES) -> tuple[AccessPattern, list[dict]]:
+    """``n`` Zipf(s=2)-skewed two-attribute probe rows on one pattern.
+
+    Stream joins probe hot keys overwhelmingly often; a skewed column is
+    where the batch plane's row deduplication pays.  The draw is fully
+    deterministic (splitmix64 uniforms through the Zipf CDF), so serial and
+    batched runs time the identical row sequence.
+    """
+    from bisect import bisect_left
+
+    weights = [1.0 / (k + 1) ** ZIPF_S for k in range(ZIPF_DOMAIN)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+
+    def draw(i: int) -> int:
+        u = splitmix64(i) / 2**64
+        return bisect_left(cdf, u)
+
+    ap = AccessPattern.from_attributes(JAS, ["A", "B"])
+    rows = [{"A": draw(2 * i), "B": draw(2 * i + 1)} for i in range(n)]
+    return ap, rows
+
+
 # --------------------------------------------------------------------- #
 # benchmark bodies (each returns the number of operations it performed)
 
@@ -121,6 +156,24 @@ def bench_multi_hash_probe(idx=None) -> int:
     for ap, values in workload:
         idx.search(ap, values)
     return len(workload)
+
+
+def bench_probe_plane_serial(idx=None) -> int:
+    if idx is None:
+        idx = populated_bit_index()
+    ap, rows = zipf_probe_workload()
+    for values in rows:
+        idx.search(ap, values)
+    return len(rows)
+
+
+def bench_probe_plane_batch64(idx=None) -> int:
+    if idx is None:
+        idx = populated_bit_index()
+    ap, rows = zipf_probe_workload()
+    for start in range(0, len(rows), BATCH_SIZE):
+        idx.search_batch(ap, rows[start : start + BATCH_SIZE])
+    return len(rows)
 
 
 def bench_bit_index_migrate() -> int:
@@ -163,6 +216,8 @@ BENCHMARKS: dict[str, tuple] = {
     "bit_index_insert": (None, bench_bit_index_insert),
     "bit_index_probe": (populated_bit_index, bench_bit_index_probe),
     "multi_hash_probe": (populated_hash_index, bench_multi_hash_probe),
+    "probe_plane_serial": (populated_bit_index, bench_probe_plane_serial),
+    "probe_plane_batch64": (populated_bit_index, bench_probe_plane_batch64),
     "bit_index_migrate": (None, bench_bit_index_migrate),
     "end_to_end_scenario": (None, bench_end_to_end_scenario),
     "parallel_training_shared": (None, bench_parallel_training_shared),
@@ -173,6 +228,8 @@ MICRO_PATHS = (
     "bit_index_insert",
     "bit_index_probe",
     "multi_hash_probe",
+    "probe_plane_serial",
+    "probe_plane_batch64",
     "bit_index_migrate",
 )
 
@@ -268,6 +325,23 @@ def compute_speedups(runs: dict) -> dict:
     }
 
 
+def compute_batch_speedups(runs: dict) -> dict:
+    """Per label: serial/batch64 probe-plane seconds (>1 = batching wins).
+
+    Unlike ``speedup`` this compares two benchmarks *within* one run, so it
+    holds machine and code version fixed — the batch plane's acceptance
+    ratio, recorded for every label that ran both probe-plane benchmarks.
+    """
+    out = {}
+    for label, run in runs.items():
+        marks = run.get("benchmarks", {})
+        serial = marks.get("probe_plane_serial", {}).get("seconds")
+        batch = marks.get("probe_plane_batch64", {}).get("seconds")
+        if serial and batch:
+            out[label] = round(serial / batch, 2)
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -307,12 +381,15 @@ def main(argv: list[str] | None = None) -> int:
         run["benchmarks"] = existing["benchmarks"]
     doc["runs"][args.label] = run
     doc["speedup"] = compute_speedups(doc["runs"])
+    doc["batch_speedup"] = compute_batch_speedups(doc["runs"])
 
     args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"\nrecorded run {args.label!r} in {args.output}")
     if doc["speedup"]:
         for name, ratio in sorted(doc["speedup"].items()):
             print(f"speedup {name:28s} {ratio:5.2f}x")
+    for label, ratio in sorted(doc["batch_speedup"].items()):
+        print(f"batch_speedup[{label}] {ratio:5.2f}x (serial / batch64 probe plane)")
     return 0
 
 
