@@ -51,6 +51,9 @@ class TestMicroPaths:
             benchmark(bench_wall.bench_probe_plane_batch64, idx) == bench_wall.N_PROBES
         )
 
+    def test_latency_p95(self, benchmark):
+        assert run_once(benchmark, bench_wall.bench_latency_p95) == 50_000
+
 
 class TestEndToEnd:
     """Experiment-scale runs: timed once, like the figure benchmarks."""

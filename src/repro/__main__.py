@@ -18,8 +18,10 @@ BANNER = f"""repro {__version__} — AMRI: Index Tuning for Adaptive Multi-Route
 subcommands (python -m repro <cmd> --help for flags):
   profile   per-component cost-unit profile of one run (--metrics/--trace export)
   run       scheme comparison with CSV/metrics export
-            (also: --scheduler fifo|backlog, --partitions K for partitioned kernels)
+            (also: --scheduler fifo|backlog, --partitions K for partitioned
+            kernels, --slo SPEC for latency/SLO tracking)
   figures   regenerate the paper's figures/tables <fig6|fig6-hash|fig7|table2|all>
+  slo       tail-latency + SLO burn-rate report across scenarios (--json export)
 
 examples:    examples/quickstart.py | package_tracking.py | stock_monitoring.py |
              sensor_network.py | assessment_comparison.py | diagnostics_tour.py
@@ -33,6 +35,7 @@ COMMANDS = {
     "profile": "repro.experiments.profiling",
     "run": "repro.experiments.run",
     "figures": "repro.experiments.figures",
+    "slo": "repro.experiments.slo_report",
 }
 
 

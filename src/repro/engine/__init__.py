@@ -25,6 +25,14 @@ from repro.engine.metrics import (
     SpanRecord,
 )
 from repro.engine.multi_query import MultiQueryExecutor, QuerySet
+from repro.engine.slo import (
+    LATENCY_BUCKETS,
+    LatencySnapshot,
+    LatencyTracker,
+    SloMonitor,
+    SloSpec,
+    merge_latency_snapshots,
+)
 from repro.engine.parser import QueryParseError, parse_query
 from repro.engine.query import JoinPredicate, Query
 from repro.engine.resources import (
@@ -70,6 +78,12 @@ __all__ = [
     "RegistrySnapshot",
     "Span",
     "SpanRecord",
+    "LATENCY_BUCKETS",
+    "LatencySnapshot",
+    "LatencyTracker",
+    "SloMonitor",
+    "SloSpec",
+    "merge_latency_snapshots",
     "ContentBasedRouter",
     "FixedRouter",
     "GreedyAdaptiveRouter",

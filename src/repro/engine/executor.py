@@ -108,6 +108,15 @@ class AMRExecutor:
         Optional :class:`~repro.engine.metrics.MetricsRegistry`.  When
         absent (the default) every instrumentation hook is a no-op and the
         run is byte-identical to an uninstrumented one.
+    latency:
+        Optional :class:`~repro.engine.slo.LatencyTracker` recording
+        arrival→emit latency per processed request (same no-op-when-absent
+        contract as ``metrics``).
+    slo:
+        Optional :class:`~repro.engine.slo.SloMonitor` evaluating a latency
+        objective each tick (requires ``latency``); breaches/recoveries
+        land in the event log and, for ``:degrade`` specs, trigger the
+        degradation policy's backlog shedding.
     scheduler:
         Backlog-drain policy: a :class:`~repro.engine.kernel.Scheduler`,
         a registry name (``"fifo"``, ``"backlog"``), or ``None`` for the
@@ -141,6 +150,8 @@ class AMRExecutor:
         invariant_checker=None,
         degradation: DegradationPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        latency=None,
+        slo=None,
         scheduler: Scheduler | str | None = None,
         batch_size: int | None = None,
         stages: Sequence[Stage] | None = None,
@@ -159,6 +170,8 @@ class AMRExecutor:
             invariant_checker=invariant_checker,
             degradation=degradation,
             metrics=metrics,
+            latency=latency,
+            slo=slo,
         )
         if stages is not None:
             pipeline = stages
@@ -277,6 +290,8 @@ for _name in (
     "invariant_checker",
     "degradation",
     "metrics",
+    "latency",
+    "slo",
 ):
     setattr(AMRExecutor, _name, _context_delegate(_name))
 del _name

@@ -9,8 +9,8 @@ decomposed into a composition of explicit parts:
 - the :class:`Stage` protocol and its standard implementations
   (:class:`ArrivalStage`, :class:`ExpiryStage`, :class:`RouteProbeStage`,
   :class:`FaultStage`, :class:`TuningStage`, :class:`MigrationStage`,
-  :class:`ShedDegradeStage`, :class:`AuditStage`) — each tick phase is one
-  object with one job;
+  :class:`SloStage`, :class:`ShedDegradeStage`, :class:`AuditStage`) — each
+  tick phase is one object with one job;
 - the :class:`Scheduler` protocol deciding which backlogged search request
   runs next (:class:`FifoScheduler` reproduces the historical
   drain-in-arrival-order policy bit-for-bit; :class:`BacklogAwareScheduler`
@@ -48,6 +48,7 @@ from repro.engine.kernel.scheduler import (
     BacklogAwareScheduler,
     FifoScheduler,
     Scheduler,
+    per_stream_depths,
     resolve_scheduler,
 )
 from repro.engine.kernel.stages import (
@@ -58,6 +59,7 @@ from repro.engine.kernel.stages import (
     MigrationStage,
     RouteProbeStage,
     ShedDegradeStage,
+    SloStage,
     Stage,
     TickState,
     TuningStage,
@@ -82,6 +84,7 @@ __all__ = [
     "SCHEDULERS",
     "Scheduler",
     "ShedDegradeStage",
+    "SloStage",
     "Stage",
     "TickState",
     "TupleBatch",
@@ -92,5 +95,6 @@ __all__ = [
     "default_stages",
     "merge_event_timelines",
     "merge_run_stats",
+    "per_stream_depths",
     "resolve_scheduler",
 ]

@@ -58,6 +58,7 @@ from repro.engine.kernel.stages import (
     MigrationStage,
     RouteProbeStage,
     ShedDegradeStage,
+    SloStage,
     Stage,
     TickState,
     TuningStage,
@@ -271,6 +272,19 @@ class BatchRouteProbeStage(RouteProbeStage):
         ctx.spend_index_deltas(cost_before, component="index", phase="probe")
         ctx.spend(params.c_route, "router", stream=item.stream, phase="decide")
         ctx.spend(outputs * params.c_output, "output", stream=item.stream, phase="emit")
+        lat = ctx.latency
+        if lat is not None:
+            # Identical to the serial stage: arrival→emit ticks, weighted by
+            # the results this request's probe sequence emitted.
+            latency = tick - item.arrived_at
+            lat.observe(item.stream, latency, outputs)
+            if m is not None:
+                m.histogram(
+                    "tuple_latency_ticks",
+                    "arrival-to-emit latency per processed request",
+                    buckets=lat.boundaries,
+                    stream=item.stream,
+                ).observe(latency)
         if m is not None:
             m.counter("outputs_total", "join results emitted").inc(outputs)
             m.histogram(
@@ -358,18 +372,20 @@ def batched_stages(
 ) -> tuple[Stage, ...]:
     """The canonical pipeline with the batch data plane swapped in.
 
-    Same eight phases in the same order as
+    Same nine phases in the same order as
     :func:`~repro.engine.kernel.kernel.default_stages`; the arrival, expiry,
     and route/probe stages are the batched variants.  Runs are bit-identical
     to the serial pipeline at every batch size.
     """
+    route = BatchRouteProbeStage(scheduler, batch_size)
     return (
         BatchArrivalStage(),
         BatchExpiryStage(),
-        BatchRouteProbeStage(scheduler, batch_size),
+        route,
         FaultStage(),
         TuningStage(),
         MigrationStage(),
+        SloStage(route.scheduler),
         ShedDegradeStage(),
         AuditStage(),
     )

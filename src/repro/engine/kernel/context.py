@@ -80,6 +80,8 @@ class EngineContext:
     invariant_checker: object | None = None  # repro.engine.faults.InvariantChecker or None
     degradation: DegradationPolicy | None = None
     metrics: MetricsRegistry | None = None
+    latency: object | None = None  # repro.engine.slo.LatencyTracker or None
+    slo: object | None = None  # repro.engine.slo.SloMonitor or None
     queue: deque[StreamTuple] = field(default_factory=deque)
     # Metrics-only state: open tuple-lifecycle spans keyed by tuple
     # identity, and the last sampled clock reading (per-tick cost).

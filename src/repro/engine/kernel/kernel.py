@@ -24,6 +24,7 @@ from repro.engine.kernel.stages import (
     MigrationStage,
     RouteProbeStage,
     ShedDegradeStage,
+    SloStage,
     Stage,
     TickState,
     TuningStage,
@@ -38,19 +39,24 @@ TICK_COST_BUCKETS = (100.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 20_000.0
 def default_stages(scheduler: Scheduler | str | None = None) -> tuple[Stage, ...]:
     """The canonical pipeline, reproducing the monolithic executor's tick
     order exactly: arrivals → expiry → route/probe → faults → tuning →
-    migration → shed/degrade → audit.
+    migration → slo → shed/degrade → audit.
 
-    ``MigrationStage`` advances budgeted incremental migrations and is a
-    complete no-op otherwise, so legacy (``migration_budget=None``) runs
-    stay bit-identical to the seven-stage pipeline.
+    ``MigrationStage`` advances budgeted incremental migrations and
+    ``SloStage`` evaluates latency objectives; both are complete no-ops
+    when their feature is unarmed (no mid-drain lifecycle, no latency
+    tracker), so legacy runs stay bit-identical to the older pipelines.
+    ``SloStage`` shares the route stage's scheduler so its backpressure
+    gauges read the same per-stream depths the drain policy ranks by.
     """
+    route = RouteProbeStage(scheduler)
     return (
         ArrivalStage(),
         ExpiryStage(),
-        RouteProbeStage(scheduler),
+        route,
         FaultStage(),
         TuningStage(),
         MigrationStage(),
+        SloStage(route.scheduler),
         ShedDegradeStage(),
         AuditStage(),
     )

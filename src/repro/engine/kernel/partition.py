@@ -198,6 +198,25 @@ class PartitionedEngine:
             return None
         return merge_snapshots(snapshots)
 
+    def merged_latency(self):
+        """Merged :class:`~repro.engine.slo.LatencySnapshot` across partitions.
+
+        Returns ``None`` when no partition has a latency tracker attached
+        (latency tracking is opt-in, like metrics).  The merge is exact:
+        the merged snapshot equals what a single tracker observing every
+        partition's completions would have recorded.
+        """
+        from repro.engine.slo import merge_latency_snapshots
+
+        snapshots = [
+            executor.latency.snapshot()
+            for executor in self.executors
+            if getattr(executor, "latency", None) is not None
+        ]
+        if not snapshots:
+            return None
+        return merge_latency_snapshots(snapshots)
+
     def merged_events(self) -> list[tuple[int, EngineEvent]]:
         """Merged ``(partition, event)`` timeline across attached logs."""
         timelines = []

@@ -26,6 +26,18 @@ from repro.engine.kernel.context import EngineContext
 from repro.engine.tuples import StreamTuple
 
 
+def per_stream_depths(queue) -> dict[str, int]:
+    """Per-stream backlog depth of a request queue, in one pass.
+
+    The backpressure gauges and the backlog-aware policy both need this
+    reading; sharing one helper keeps their counts definitionally equal.
+    """
+    counts: dict[str, int] = {}
+    for item in queue:
+        counts[item.stream] = counts.get(item.stream, 0) + 1
+    return counts
+
+
 @runtime_checkable
 class Scheduler(Protocol):
     """Chooses the next backlogged search request to execute.
@@ -49,6 +61,10 @@ class FifoScheduler:
     def select(self, ctx: EngineContext) -> StreamTuple:
         return ctx.queue.popleft()
 
+    def depths(self, ctx: EngineContext) -> dict[str, int]:
+        """Per-stream backlog depths (for the backpressure gauges)."""
+        return per_stream_depths(ctx.queue)
+
 
 class BacklogAwareScheduler:
     """Serve the deepest per-stream backlog first, oldest request first.
@@ -66,9 +82,7 @@ class BacklogAwareScheduler:
 
     def select(self, ctx: EngineContext) -> StreamTuple:
         queue = ctx.queue
-        counts: dict[str, int] = {}
-        for item in queue:
-            counts[item.stream] = counts.get(item.stream, 0) + 1
+        counts = per_stream_depths(queue)
         best_stream: str | None = None
         best_count = 0
         for item in queue:  # first-occurrence order == oldest-request order
@@ -80,6 +94,10 @@ class BacklogAwareScheduler:
                 del queue[i]
                 return item
         raise RuntimeError("unreachable: queue emptied during selection")
+
+    def depths(self, ctx: EngineContext) -> dict[str, int]:
+        """Per-stream backlog depths — the same reading ``select`` ranks by."""
+        return per_stream_depths(ctx.queue)
 
 
 #: Named schedulers selectable from harnesses and the CLI (``--scheduler``).

@@ -8,7 +8,7 @@ Each stage is one phase of the discrete-time loop, implementing the
 monolithic executor exactly:
 
     arrivals → expiry → route/probe (scheduler-driven) → faults →
-    tuning → migration → shed/degrade → audit
+    tuning → migration → slo → shed/degrade → audit
 
 Stages communicate only through the context and the tick state — no stage
 holds run state of its own (schedulers and policies are configuration, not
@@ -24,9 +24,14 @@ from typing import Protocol, runtime_checkable
 
 from repro.core.tuner import TuningContext
 from repro.engine.kernel.context import EngineContext, index_kind_label
-from repro.engine.kernel.scheduler import Scheduler, resolve_scheduler
+from repro.engine.kernel.scheduler import (
+    Scheduler,
+    per_stream_depths,
+    resolve_scheduler,
+)
 from repro.engine.metrics import Span
 from repro.engine.resources import MemoryBreakdown, MemoryBudgetExceeded
+from repro.engine.slo import SLO_BREACH, SLO_RECOVERED
 from repro.engine.tuples import JoinedTuple, StreamTuple
 
 #: Histogram boundaries for per-probe match counts.
@@ -317,6 +322,21 @@ class RouteProbeStage:
         ctx.spend_index_deltas(cost_before, component="index", phase="probe")
         ctx.spend(params.c_route, "router", stream=item.stream, phase="decide")
         ctx.spend(outputs * params.c_output, "output", stream=item.stream, phase="emit")
+        lat = ctx.latency
+        if lat is not None:
+            # Arrival→emit latency in ticks.  Each joined result is produced
+            # exactly once by its youngest member's probe sequence, so the
+            # request's latency is also the latency of each emitted result
+            # (hence the ``outputs`` weight the tracker keeps).
+            latency = tick - item.arrived_at
+            lat.observe(item.stream, latency, outputs)
+            if m is not None:
+                m.histogram(
+                    "tuple_latency_ticks",
+                    "arrival-to-emit latency per processed request",
+                    buckets=lat.boundaries,
+                    stream=item.stream,
+                ).observe(latency)
         if m is not None:
             m.counter("outputs_total", "join results emitted").inc(outputs)
             m.histogram(
@@ -458,8 +478,13 @@ class ShedDegradeStage:
         if n <= 0:
             return breakdown
         m = ctx.metrics
+        lat = ctx.latency
         for _ in range(n):
             item = ctx.queue.popleft()
+            if lat is not None:
+                # A shed request never emits: it is not a completion latency,
+                # but it spent its wait failing the objective (budget burn).
+                lat.observe_shed(item.stream, tick - item.arrived_at)
             if m is not None:
                 span = ctx.live_spans.pop(id(item), None)
                 if span is not None:
@@ -510,6 +535,88 @@ class ShedDegradeStage:
                 )
             breakdown = ctx.memory_breakdown()
         return breakdown
+
+
+class SloStage:
+    """Per-tick latency/SLO evaluation and backpressure surfacing.
+
+    Runs only when a :class:`~repro.engine.slo.LatencyTracker` is armed on
+    the context (``ctx.latency``) — without one the stage is a complete
+    no-op, preserving the golden corpus byte-for-byte.  With a tracker and
+    a metrics registry it refreshes per-stream backlog gauges and the
+    tick's backpressure reading (cost spent so far ÷ capacity); with an
+    :class:`~repro.engine.slo.SloMonitor` attached (``ctx.slo``) it also
+    folds the tick into the burn-rate windows, emits ``slo_breach`` /
+    ``slo_recovered`` events, and — for specs marked ``:degrade`` — fires
+    the existing :class:`~repro.engine.resources.DegradationPolicy`
+    backlog-shedding path as the closed-loop response.
+    """
+
+    name = "slo"
+
+    def __init__(self, scheduler: Scheduler | str | None = None) -> None:
+        self.scheduler = resolve_scheduler(scheduler)
+        self._shedder = ShedDegradeStage()
+
+    def run(self, ctx: EngineContext, tick: TickState) -> None:
+        tracker = ctx.latency
+        if tracker is None:
+            return
+        t = tick.tick
+        m = ctx.metrics
+        if m is not None:
+            depths_of = getattr(self.scheduler, "depths", None)
+            depths = (
+                depths_of(ctx)
+                if depths_of is not None
+                else per_stream_depths(ctx.queue)
+            )
+            for stream in ctx.stems:
+                m.gauge(
+                    "stream_backlog",
+                    "queued search requests per stream",
+                    stream=stream,
+                ).set(depths.get(stream, 0))
+            capacity = ctx.meter.capacity
+            spent = ctx.meter.total_spent - ctx.spent_at_tick_start
+            m.gauge(
+                "backpressure", "tick cost spent over tick capacity"
+            ).set(spent / capacity if capacity else 0.0)
+        monitor = ctx.slo
+        if monitor is None:
+            return
+        transition = monitor.end_tick(t, tracker)
+        spec = monitor.spec
+        if m is not None:
+            for window, rate in monitor.burn_rates().items():
+                m.gauge(
+                    "slo_burn_rate",
+                    "error-budget burn rate per evaluation window",
+                    window=str(window),
+                ).set(rate)
+        if transition == "breach":
+            detail: dict[str, object] = {"objective": spec.describe()}
+            for window, rate in monitor.burn_rates().items():
+                detail[f"burn_{window}"] = round(rate, 3)
+            if ctx.event_log is not None:
+                ctx.event_log.record(t, SLO_BREACH, None, **detail)
+            if m is not None:
+                m.counter("slo_breaches_total", "SLO breach transitions").inc()
+                m.point_span("slo_breach", t, **detail)
+            if spec.degrade_on_breach and ctx.degradation is not None:
+                # Closed loop: shed the waiting backlog down to the policy's
+                # floor (soft target 0 forces the full sheddable amount),
+                # reusing the exact degradation path — same events, same
+                # metrics, same span endings as memory-pressure shedding.
+                self._shedder.shed_backlog(ctx, t, ctx.memory_breakdown(), 0)
+        elif transition == "recover":
+            if ctx.event_log is not None:
+                ctx.event_log.record(
+                    t, SLO_RECOVERED, None, objective=spec.describe()
+                )
+            if m is not None:
+                m.counter("slo_recoveries_total", "SLO recovery transitions").inc()
+                m.point_span("slo_recovered", t, objective=spec.describe())
 
 
 class AuditStage:

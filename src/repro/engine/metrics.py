@@ -51,6 +51,7 @@ __all__ = [
     "SpanRecord",
     "cost_label_key",
     "merge_snapshots",
+    "quantile_from_buckets",
 ]
 
 #: The cost-unit attribution series every executor charge lands in.
@@ -64,6 +65,46 @@ LabelPairs = tuple[tuple[str, str], ...]
 
 #: Default histogram boundaries (upper bounds, ``le`` semantics).
 DEFAULT_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def quantile_from_buckets(
+    buckets: Sequence[tuple[float, int]], q: float
+) -> float | None:
+    """Estimate the ``q``-quantile from cumulative ``(le, count)`` buckets.
+
+    ``buckets`` follow the Prometheus convention produced by
+    :meth:`Histogram.cumulative`: monotone non-decreasing cumulative counts
+    with a final ``(+Inf, total)`` entry.  The estimate interpolates
+    linearly inside the first bucket whose cumulative count reaches the
+    target rank, so it is deterministic and monotone in ``q`` but only
+    accurate to within one bucket width (values inside a bucket are assumed
+    uniform).  Ranks landing in the ``+Inf`` overflow bucket clamp to the
+    largest finite boundary — the estimator never invents values beyond the
+    configured range.  Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not buckets:
+        return None
+    count = buckets[-1][1]
+    if count <= 0:
+        return None
+    rank = q * count
+    prev_le = 0.0
+    prev_cum = 0
+    for i, (le, cum) in enumerate(buckets):
+        if i == 0:
+            prev_le = min(0.0, le)
+        if cum > prev_cum and cum >= rank:
+            if le == float("inf"):
+                # Overflow bucket: clamp to the largest finite boundary.
+                return prev_le if i > 0 else None
+            fraction = max(0.0, (rank - prev_cum) / (cum - prev_cum))
+            return prev_le + (le - prev_le) * fraction
+        if cum > prev_cum:
+            prev_cum = cum
+        prev_le = le
+    return None
 
 
 def _label_pairs(labels: Mapping[str, str | None]) -> LabelPairs:
@@ -155,6 +196,15 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), self.count))
         return out
+
+    def quantile(self, q: float) -> float | None:
+        """Interpolated ``q``-quantile estimate (±1 bucket width).
+
+        See :func:`quantile_from_buckets` for the exact semantics: linear
+        interpolation over the cumulative buckets, overflow clamped to the
+        largest finite boundary, ``None`` when nothing has been observed.
+        """
+        return quantile_from_buckets(self.cumulative(), q)
 
 
 Instrument = Counter | Gauge | Histogram
@@ -297,6 +347,12 @@ class SeriesSnapshot:
 
     def label_dict(self) -> dict[str, str]:
         return dict(self.labels)
+
+    def quantile(self, q: float) -> float | None:
+        """Interpolated quantile over a frozen histogram series (else None)."""
+        if self.kind != "histogram":
+            return None
+        return quantile_from_buckets(self.buckets, q)
 
 
 @dataclass(frozen=True)

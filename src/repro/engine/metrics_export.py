@@ -33,6 +33,7 @@ __all__ = [
     "from_jsonl",
     "snapshot_records",
     "span_records",
+    "spans_to_jsonl",
     "to_csv",
     "to_jsonl",
     "to_jsonl_lines",
@@ -100,6 +101,16 @@ def snapshot_records(snapshot: RegistrySnapshot) -> list[dict[str, object]]:
 def span_records(spans: Sequence[SpanRecord]) -> list[dict[str, object]]:
     """One dict per retained span (trace export)."""
     return [span.to_dict() for span in spans]
+
+
+def spans_to_jsonl(spans: Sequence[SpanRecord]) -> str:
+    """Render spans as JSONL — the same pipeline events export through.
+
+    One line per retained span; the empty span list renders as the empty
+    string, matching :meth:`~repro.engine.tracing.EventLog.to_jsonl`.
+    """
+    lines = to_jsonl_lines(span_records(spans))
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def event_records(events: Iterable[object]) -> list[dict[str, object]]:
@@ -273,6 +284,5 @@ def write_trace(path: Path | str, snapshot: RegistrySnapshot) -> Path:
     """Write the flight recorder's retained spans to ``path`` as JSONL."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    lines = to_jsonl_lines(span_records(snapshot.spans))
-    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    path.write_text(spans_to_jsonl(snapshot.spans))
     return path

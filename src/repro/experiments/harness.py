@@ -194,7 +194,7 @@ def run_scheme_partitioned(
 
     def build(_index: int):
         overrides = dict(executor_overrides)
-        for attachment in ("event_log", "metrics"):
+        for attachment in ("event_log", "metrics", "latency", "slo"):
             factory = overrides.get(attachment)
             if callable(factory):
                 overrides[attachment] = factory()

@@ -28,6 +28,13 @@ from repro.engine.kernel import (
 )
 from repro.engine.metrics import MetricsRegistry, RegistrySnapshot, merge_snapshots
 from repro.engine.resources import DegradationPolicy
+from repro.engine.slo import (
+    LatencySnapshot,
+    LatencyTracker,
+    SloMonitor,
+    SloSpec,
+    merge_latency_snapshots,
+)
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
 from repro.experiments.harness import TrainingResult, cached_training, run_scheme
@@ -46,7 +53,10 @@ class RunSpec:
     sheds and degrades instead of killing the run.  ``collect_metrics=True``
     attaches a :class:`~repro.engine.metrics.MetricsRegistry` and ships its
     frozen snapshot back on the outcome (metrics are observer-effect-free,
-    so the stats are identical either way).
+    so the stats are identical either way).  ``slo`` is an SLO spec string
+    (:meth:`~repro.engine.slo.SloSpec.parse`, e.g. ``"p95<=8@120"``) that
+    arms per-tuple latency tracking plus burn-rate monitoring and ships the
+    frozen :class:`~repro.engine.slo.LatencySnapshot` back on the outcome.
 
     ``training`` optionally carries a precomputed (picklable)
     :class:`~repro.experiments.harness.TrainingResult` to the worker, so a
@@ -68,6 +78,7 @@ class RunSpec:
     fault_seed: int = 0
     degrade: bool = False
     collect_metrics: bool = False
+    slo: str | None = None  # SLO spec string, e.g. "p95<=8@120" (arms latency tracking)
     scheduler: str | None = None  # backlog-drain policy name (None = fifo)
     batch_size: int | None = None  # batched data plane width (None = serial)
     partitions: int = 1  # independent hash-partitioned kernels per run
@@ -94,6 +105,7 @@ class RunOutcome:
     stats: RunStats
     events: tuple[EngineEvent, ...] = ()
     metrics: RegistrySnapshot | None = None
+    latency: LatencySnapshot | None = None
     partition_stats: tuple[RunStats, ...] = ()
 
     @property
@@ -101,7 +113,25 @@ class RunOutcome:
         return self.stats.outputs
 
 
-_PartitionResult = tuple[RunStats, tuple[EngineEvent, ...], RegistrySnapshot | None]
+_PartitionResult = tuple[
+    RunStats,
+    tuple[EngineEvent, ...],
+    RegistrySnapshot | None,
+    LatencySnapshot | None,
+]
+
+
+def _slo_attachments(spec: RunSpec) -> tuple[LatencyTracker | None, SloMonitor | None]:
+    """The spec's latency tracker + monitor (fresh per engine), or Nones.
+
+    A spec's ``slo`` string arms per-tuple latency tracking with the
+    objective's threshold and a monitor evaluating it; without one nothing
+    is attached, keeping the run observer-effect-free by construction.
+    """
+    if spec.slo is None:
+        return None, None
+    parsed = SloSpec.parse(spec.slo)
+    return LatencyTracker(threshold=parsed.threshold_ticks), SloMonitor(parsed)
 
 
 def _resolve_training(spec: RunSpec) -> "TrainingResult | None":
@@ -150,6 +180,7 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
     training = _resolve_training(spec)
     log = EventLog()
     registry = MetricsRegistry() if spec.collect_metrics else None
+    tracker, monitor = _slo_attachments(spec)
     initial_configs = training.configs if training is not None else None
     initial_hash = None
     if training is not None and spec.scheme.startswith("hash:"):
@@ -163,6 +194,8 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
         fault_seed=spec.fault_seed,
         degradation=DegradationPolicy() if spec.degrade else None,
         metrics=registry,
+        latency=tracker,
+        slo=monitor,
         scheduler=spec.scheduler,
         batch_size=spec.batch_size,
         index_backend=spec.index_backend,
@@ -178,7 +211,12 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
             return [item for item in generator(tick) if partitioner(item) == index]
 
     stats = executor.run(spec.ticks, arrivals)
-    return stats, tuple(log), registry.snapshot() if registry is not None else None
+    return (
+        stats,
+        tuple(log),
+        registry.snapshot() if registry is not None else None,
+        tracker.snapshot() if tracker is not None else None,
+    )
 
 
 def _execute_partition_task(task: tuple[RunSpec, int]) -> _PartitionResult:
@@ -188,16 +226,18 @@ def _execute_partition_task(task: tuple[RunSpec, int]) -> _PartitionResult:
 
 def _merge_outcome(spec: RunSpec, parts: list[_PartitionResult]) -> RunOutcome:
     """Fold per-partition results into one outcome (deterministic merge)."""
-    snapshots = [snap for _, _, snap in parts if snap is not None]
+    snapshots = [snap for _, _, snap, _ in parts if snap is not None]
+    latencies = [lat for _, _, _, lat in parts if lat is not None]
     return RunOutcome(
         spec=spec,
-        stats=merge_run_stats([stats for stats, _, _ in parts]),
+        stats=merge_run_stats([stats for stats, _, _, _ in parts]),
         events=tuple(
             event
-            for _, event in merge_event_timelines([events for _, events, _ in parts])
+            for _, event in merge_event_timelines([events for _, events, _, _ in parts])
         ),
         metrics=merge_snapshots(snapshots) if snapshots else None,
-        partition_stats=tuple(stats for stats, _, _ in parts),
+        latency=merge_latency_snapshots(latencies) if latencies else None,
+        partition_stats=tuple(stats for stats, _, _, _ in parts),
     )
 
 
@@ -216,6 +256,7 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     training = _resolve_training(spec)
     log = EventLog()
     registry = MetricsRegistry() if spec.collect_metrics else None
+    tracker, monitor = _slo_attachments(spec)
     stats = run_scheme(
         scenario,
         spec.scheme,
@@ -227,6 +268,8 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         fault_seed=spec.fault_seed,
         degradation=DegradationPolicy() if spec.degrade else None,
         metrics=registry,
+        latency=tracker,
+        slo=monitor,
         scheduler=spec.scheduler,
         batch_size=spec.batch_size,
         index_backend=spec.index_backend,
@@ -237,6 +280,7 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         stats=stats,
         events=tuple(log),
         metrics=registry.snapshot() if registry is not None else None,
+        latency=tracker.snapshot() if tracker is not None else None,
         partition_stats=(stats,),
     )
 

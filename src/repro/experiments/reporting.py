@@ -169,6 +169,55 @@ def format_component_breakdown(
     return f"{title}\n" + format_table(["scheme", *components, "total"], rows)
 
 
+def format_slo_report(
+    title: str,
+    latencies: Mapping[str, object],
+    monitors: Mapping[str, Sequence[object]] | None = None,
+) -> str:
+    """The latency/SLO 'figure': tail latency and budget burn per scheme.
+
+    ``latencies`` maps scheme → :class:`~repro.engine.slo.LatencySnapshot`;
+    ``monitors`` (optional) maps scheme → its
+    :class:`~repro.engine.slo.SloMonitor` instances (one per partition) for
+    breach counts and error-budget burn.  Quantiles are the interpolated
+    histogram estimates (±1 bucket width), in ticks.
+    """
+
+    def fmt(value: float | None) -> str:
+        return "-" if value is None else f"{value:.1f}"
+
+    rows: list[list[object]] = []
+    for name, snap in latencies.items():
+        breaches: object = "-"
+        burn: object = "-"
+        if monitors is not None:
+            mons = [mon for mon in monitors.get(name, ()) if mon is not None]
+            if mons:
+                breaches = sum(mon.breaches for mon in mons)
+                budget = mons[0].spec.error_budget
+                if budget > 0:
+                    burn = f"{snap.violation_fraction / budget:.2f}"
+        rows.append(
+            [
+                name,
+                snap.observed,
+                fmt(snap.quantile(0.50)),
+                fmt(snap.quantile(0.95)),
+                fmt(snap.quantile(0.99)),
+                fmt(snap.mean),
+                f"{100.0 * snap.violation_fraction:.1f}",
+                snap.shed,
+                breaches,
+                burn,
+            ]
+        )
+    headers = [
+        "scheme", "requests", "p50", "p95", "p99", "mean", "viol%", "shed",
+        "breaches", "burn",
+    ]
+    return f"{title}\n" + format_table(headers, rows)
+
+
 def format_summary(
     title: str, comparisons: Sequence[tuple[str, float, str, float]]
 ) -> str:

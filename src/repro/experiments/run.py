@@ -18,6 +18,13 @@ scheme, prints a cross-scheme cost breakdown by component, and writes one
 additionally writes each scheme's flight-recorder spans as
 ``<scenario>_<scheme>_trace.jsonl``.  Metrics are observer-effect-free:
 the run results are byte-identical with the flags on or off.
+
+SLO flags: ``--slo 'p95<=8@120'`` arms per-tuple latency tracking and
+multi-window burn-rate monitoring against the given objective (append
+``:degrade`` to close the loop — a breach sheds backlog through the
+degradation policy); the report gains a latency/SLO table and
+``--slo-report DIR`` writes one ``<scenario>_<scheme>_slo.jsonl`` per
+scheme (latency records plus breach/recovery events).
 """
 
 from __future__ import annotations
@@ -30,8 +37,16 @@ from pathlib import Path
 from repro.engine.faults import FAULT_PROFILES
 from repro.engine.kernel import SCHEDULERS
 from repro.engine.metrics import MetricsRegistry, RegistrySnapshot
-from repro.engine.metrics_export import write_metrics, write_trace
+from repro.engine.metrics_export import event_records, to_jsonl_lines, write_metrics, write_trace
 from repro.engine.resources import DegradationPolicy
+from repro.engine.slo import (
+    SLO_BREACH,
+    SLO_RECOVERED,
+    LatencySnapshot,
+    LatencyTracker,
+    SloMonitor,
+    SloSpec,
+)
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
 from repro.experiments.harness import run_scheme, run_scheme_partitioned, train_initial_state
@@ -39,6 +54,7 @@ from repro.storage import BACKENDS, UnknownBackendError
 from repro.experiments.reporting import (
     format_component_breakdown,
     format_fault_timeline,
+    format_slo_report,
     format_table,
     format_throughput_figure,
 )
@@ -180,6 +196,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for per-scheme flight-recorder span exports (JSONL)",
     )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="arm per-tuple latency tracking against an SLO spec, e.g. "
+        "'p95<=8@120' (append '/FAST' for the fast burn window and "
+        "':degrade' to shed backlog on breach)",
+    )
+    parser.add_argument(
+        "--slo-report",
+        type=Path,
+        default=None,
+        help="directory for per-scheme latency/SLO reports (JSONL; requires --slo)",
+    )
     args = parser.parse_args(argv)
     if args.partitions < 1:
         parser.error(f"--partitions must be >= 1, got {args.partitions}")
@@ -192,6 +222,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--migration-budget must be >= 1, got {args.migration_budget}")
     if args.batch_size is not None and args.batch_size < 1:
         parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+    slo_spec = None
+    if args.slo is not None:
+        try:
+            slo_spec = SloSpec.parse(args.slo)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.slo_report is not None and slo_spec is None:
+        parser.error("--slo-report requires --slo")
 
     scenario = build_scenario(args.scenario, args.seed)
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
@@ -204,10 +242,12 @@ def main(argv: list[str] | None = None) -> int:
     runs: dict[str, RunStats] = {}
     events: dict[str, list[EngineEvent]] = {}
     snapshots: dict[str, RegistrySnapshot] = {}
+    latencies: dict[str, LatencySnapshot] = {}
+    monitors: dict[str, list[SloMonitor]] = {}
     for scheme in schemes:
         if args.partitions > 1:
             # Per-partition attachments go in as factories: every kernel
-            # gets its own log/registry, merged deterministically after.
+            # gets its own log/registry/tracker, merged deterministically after.
             runs[scheme], engine = run_scheme_partitioned(
                 scenario,
                 scheme,
@@ -219,6 +259,12 @@ def main(argv: list[str] | None = None) -> int:
                 fault_seed=args.fault_seed,
                 degradation=degradation,
                 metrics=MetricsRegistry if want_metrics else None,
+                latency=(
+                    (lambda: LatencyTracker(threshold=slo_spec.threshold_ticks))
+                    if slo_spec is not None
+                    else None
+                ),
+                slo=(lambda: SloMonitor(slo_spec)) if slo_spec is not None else None,
                 scheduler=args.scheduler,
                 batch_size=args.batch_size,
                 index_backend=args.index_backend,
@@ -227,9 +273,22 @@ def main(argv: list[str] | None = None) -> int:
             events[scheme] = [event for _, event in engine.merged_events()]
             if want_metrics:
                 snapshots[scheme] = engine.merged_snapshot()
+            if slo_spec is not None:
+                merged = engine.merged_latency()
+                if merged is not None:
+                    latencies[scheme] = merged
+                monitors[scheme] = [
+                    ex.slo for ex in engine.executors if ex.slo is not None
+                ]
             continue
         log = EventLog()
         registry = MetricsRegistry() if want_metrics else None
+        tracker = (
+            LatencyTracker(threshold=slo_spec.threshold_ticks)
+            if slo_spec is not None
+            else None
+        )
+        monitor = SloMonitor(slo_spec) if slo_spec is not None else None
         runs[scheme] = run_scheme(
             scenario,
             scheme,
@@ -240,6 +299,8 @@ def main(argv: list[str] | None = None) -> int:
             fault_seed=args.fault_seed,
             degradation=degradation,
             metrics=registry,
+            latency=tracker,
+            slo=monitor,
             scheduler=args.scheduler,
             batch_size=args.batch_size,
             index_backend=args.index_backend,
@@ -248,6 +309,9 @@ def main(argv: list[str] | None = None) -> int:
         events[scheme] = list(log)
         if registry is not None:
             snapshots[scheme] = registry.snapshot()
+        if tracker is not None:
+            latencies[scheme] = tracker.snapshot()
+            monitors[scheme] = [monitor]
 
     print(format_throughput_figure(f"{args.scenario} scenario, {args.ticks} ticks", runs))
     rows = [
@@ -267,6 +331,16 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(format_component_breakdown("cost units by component", snapshots))
 
+    if latencies:
+        print()
+        print(
+            format_slo_report(
+                f"latency / SLO ({slo_spec.describe()}), ticks as units",
+                latencies,
+                monitors,
+            )
+        )
+
     if args.csv is not None:
         args.csv.mkdir(parents=True, exist_ok=True)
         for name, stats in runs.items():
@@ -285,6 +359,20 @@ def main(argv: list[str] | None = None) -> int:
             safe = name.replace(":", "_")
             write_trace(args.trace / f"{args.scenario}_{safe}_trace.jsonl", snap)
         print(f"traces written to {args.trace}/")
+    if args.slo_report is not None:
+        args.slo_report.mkdir(parents=True, exist_ok=True)
+        for name, snap in latencies.items():
+            safe = name.replace(":", "_")
+            records = list(snap.to_records())
+            records.extend(
+                event_records(
+                    e for e in events[name] if e.kind in (SLO_BREACH, SLO_RECOVERED)
+                )
+            )
+            lines = to_jsonl_lines(records)
+            path = args.slo_report / f"{args.scenario}_{safe}_slo.jsonl"
+            path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        print(f"SLO reports written to {args.slo_report}/")
     return 0
 
 

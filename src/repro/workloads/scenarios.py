@@ -308,6 +308,8 @@ class PaperScenario:
         invariant_checker=None,
         degradation: DegradationPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        latency=None,
+        slo=None,
         scheduler=None,
         batch_size: int | None = None,
         index_backend: str | None = None,
@@ -324,6 +326,12 @@ class PaperScenario:
         ``metrics`` attaches a :class:`~repro.engine.metrics.MetricsRegistry`
         for cost-unit attribution and span tracing; omitted, every
         instrumentation hook is a no-op (observer-effect-free).
+
+        ``latency`` attaches a :class:`~repro.engine.slo.LatencyTracker`
+        (arrival→emit tick latency per request) and ``slo`` an
+        :class:`~repro.engine.slo.SloMonitor` evaluating a latency
+        objective against it — both opt-in with the same no-op-when-absent
+        contract as ``metrics``.
 
         ``scheduler`` picks the backlog-drain policy (a
         :class:`~repro.engine.kernel.Scheduler` or a registry name such as
@@ -378,6 +386,8 @@ class PaperScenario:
             invariant_checker=invariant_checker,
             degradation=degradation,
             metrics=metrics,
+            latency=latency,
+            slo=slo,
             scheduler=scheduler,
             batch_size=batch_size,
         )

@@ -260,7 +260,7 @@ class TestBatchStageConstruction:
         assert isinstance(stages[1], BatchExpiryStage)
         assert isinstance(stages[2], BatchRouteProbeStage)
         assert stages[2].batch_size == DEFAULT_BATCH_SIZE
-        assert len(stages) == 8
+        assert len(stages) == 9
 
     @pytest.mark.parametrize("bad", [0, -1, -64])
     def test_rejects_non_positive_batch_size(self, bad):

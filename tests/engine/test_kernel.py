@@ -224,7 +224,7 @@ class TestFacade:
     def test_exposes_kernel_parts(self):
         ex = make_executor()
         assert isinstance(ex.context, EngineContext)
-        assert len(ex.stages) == 8
+        assert len(ex.stages) == 9
         assert isinstance(ex.kernel, EngineKernel)
 
     def test_attribute_writes_reach_the_context(self):

@@ -15,10 +15,12 @@ from repro.engine.metrics import (
     MetricsRegistry,
     SpanRecord,
     cost_label_key,
+    quantile_from_buckets,
 )
 from repro.engine.metrics_export import (
     from_csv,
     from_jsonl,
+    spans_to_jsonl,
     to_csv,
     to_jsonl,
     to_prometheus,
@@ -274,3 +276,140 @@ class TestExporters:
         assert spans and spans[0]["name"] == "tick"
         with pytest.raises(ValueError):
             write_metrics(tmp_path / "m.xml", snap, "xml")
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_none(self):
+        h = Histogram(boundaries=(1.0, 4.0))
+        assert h.quantile(0.5) is None
+        assert quantile_from_buckets((), 0.5) is None
+
+    def test_single_bucket_interpolates_linearly(self):
+        h = Histogram(boundaries=(10.0,))
+        for _ in range(4):
+            h.observe(3.0)
+        # All mass in [0, 10]: rank q*4 interpolates across that width.
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_bucket_clamps_to_last_finite_boundary(self):
+        h = Histogram(boundaries=(1.0, 4.0))
+        for v in (0.5, 2.0, 100.0, 200.0):
+            h.observe(v)
+        # p99 falls in the +Inf bucket; the estimate clamps to le=4.0
+        # rather than inventing an upper edge.
+        assert h.quantile(0.99) == 4.0
+
+    def test_all_mass_in_overflow_without_finite_bucket(self):
+        # Only the +Inf bucket has mass and there is no finite boundary
+        # below it to clamp to: the estimate is undefined.
+        assert quantile_from_buckets(((float("inf"), 3),), 0.5) is None
+
+    def test_monotone_in_q(self):
+        h = Histogram(boundaries=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.2, 0.9, 1.5, 3.0, 3.5, 6.0, 20.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_estimate_within_one_bucket_width(self):
+        h = Histogram(boundaries=(1.0, 2.0, 4.0, 8.0, 16.0))
+        values = [0.5, 1.5, 1.7, 3.0, 3.2, 5.0, 7.0, 9.0, 12.0, 15.0]
+        for v in values:
+            h.observe(v)
+        exact = sorted(values)[len(values) // 2]
+        est = h.quantile(0.5)
+        assert abs(est - exact) <= 4.0  # the bucket width around the median
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_series_snapshot_quantile(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 4.0))
+        for v in (0.5, 2.0, 3.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        series = next(s for s in snap.series if s.name == "lat")
+        assert series.quantile(0.5) == h.quantile(0.5)
+        reg.counter("c").inc()
+        counter = next(s for s in reg.snapshot().series if s.name == "c")
+        assert counter.quantile(0.5) is None
+
+
+class TestPrometheusGoldenText:
+    def test_exact_exposition_text(self):
+        """Conformance lock: the full rendered exposition, byte for byte.
+
+        Covers HELP/TYPE headers, alphabetical family order, escaped label
+        values, cumulative ``_bucket`` series ending in ``+Inf``, and the
+        ``_sum``/``_count`` pair.
+        """
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "total requests", stream='A"x\\y').inc(3)
+        reg.gauge("backlog", "queued items").set(2)
+        h = reg.histogram("lat", "latency ticks", buckets=(1.0, 4.0))
+        for v in (0.5, 2.0, 9.0):
+            h.observe(v)
+        expected = "\n".join(
+            [
+                "# HELP backlog queued items",
+                "# TYPE backlog gauge",
+                "backlog 2.0",
+                "# HELP lat latency ticks",
+                "# TYPE lat histogram",
+                'lat_bucket{le="1.0"} 1',
+                'lat_bucket{le="4.0"} 2',
+                'lat_bucket{le="+Inf"} 3',
+                "lat_sum 11.5",
+                "lat_count 3",
+                "# HELP requests_total total requests",
+                "# TYPE requests_total counter",
+                'requests_total{stream="A\\"x\\\\y"} 3.0',
+                "",
+            ]
+        )
+        assert to_prometheus(reg.snapshot()) == expected
+
+
+class TestSpansToJsonl:
+    def test_empty_spans_render_as_empty_string(self):
+        assert spans_to_jsonl(()) == ""
+
+    def test_one_line_per_span_trailing_newline(self):
+        spans = (
+            SpanRecord(1, "tick", 0, 1),
+            SpanRecord(2, "tuple", 1, 1, parent_id=1, attrs=(("stream", "A"),)),
+        )
+        text = spans_to_jsonl(spans)
+        assert text.endswith("\n")
+        records = [json.loads(line) for line in text.splitlines()]
+        assert [r["span_id"] for r in records] == [1, 2]
+        assert records[1]["attr_stream"] == "A"
+
+    def test_matches_write_trace_output(self, tmp_path):
+        reg = MetricsRegistry()
+        span = reg.start_span("tick", 3)
+        reg.end_span(span, 4, cost=1.0)
+        snap = reg.snapshot()
+        path = write_trace(tmp_path / "trace.jsonl", snap)
+        assert path.read_text() == spans_to_jsonl(snap.spans)
+
+    def test_matches_event_log_jsonl_shape(self):
+        """Spans and events share one export pipeline (sorted keys, one
+        JSON object per line) so downstream tools parse either stream."""
+        from repro.engine.tracing import EventLog
+
+        log = EventLog()
+        log.record(1, "fault", stream="A", factor=3)
+        for text in (log.to_jsonl(), spans_to_jsonl((SpanRecord(1, "tick", 0, 1),))):
+            (line,) = text.splitlines()
+            rec = json.loads(line)
+            assert list(rec) == sorted(rec)
+        assert log.to_jsonl().endswith("\n")

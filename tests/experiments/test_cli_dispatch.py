@@ -15,13 +15,20 @@ class TestExitCodes:
         assert main_mod.main(["frobnicate"]) == 2
         assert "unknown subcommand" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("command", ["run", "profile", "figures"])
+    @pytest.mark.parametrize("command", ["run", "profile", "figures", "slo"])
     def test_unknown_flag_exits_2_with_usage_no_traceback(self, command, capsys):
         rc = main_mod.main([command, "--definitely-not-a-flag"])
         captured = capsys.readouterr()
         assert rc == 2
         assert "usage" in captured.err.lower()
         assert "Traceback" not in captured.err
+
+    def test_banner_enumerates_every_subcommand(self, capsys):
+        """The help text and the dispatch table must not drift apart."""
+        main_mod.main([])
+        banner = capsys.readouterr().out
+        for command in main_mod.COMMANDS:
+            assert f"\n  {command} " in banner, command
 
     def test_help_flag_exits_0(self, capsys):
         assert main_mod.main(["run", "--help"]) == 0
@@ -118,3 +125,46 @@ class TestEngineFlags:
         )
         assert rc == 0
         assert "scan" in capsys.readouterr().out
+
+
+class TestSloFlags:
+    @pytest.mark.parametrize("bad", ["p95<8@120", "nonsense", "p0<=8@120"])
+    def test_bad_slo_spec_exits_2(self, bad, capsys):
+        rc = main_mod.main(["run", "--slo", bad])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "usage" in captured.err.lower()
+        assert "Traceback" not in captured.err
+
+    def test_slo_report_requires_slo(self, capsys):
+        rc = main_mod.main(["run", "--slo-report", "out/"])
+        assert rc == 2
+        assert "--slo-report requires --slo" in capsys.readouterr().err
+
+    def test_armed_run_prints_latency_table(self, capsys, tmp_path):
+        rc = run_cli.main(
+            [
+                "--schemes", "scan", "--ticks", "12", "--no-train",
+                "--slo", "p95<=8@10",
+                "--slo-report", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "latency / SLO (p95<=8@10)" in out
+        report = tmp_path / "paper_scan_slo.jsonl"
+        assert report.exists()
+        import json
+
+        records = [json.loads(line) for line in report.read_text().splitlines()]
+        assert records[0]["record"] == "latency"
+
+    def test_slo_subcommand_bad_scenario_exits_2(self, capsys):
+        rc = main_mod.main(["slo", "--scenarios", "nope"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_slo_subcommand_bad_spec_exits_2(self, capsys):
+        rc = main_mod.main(["slo", "--slo", "oops"])
+        assert rc == 2
+        assert "usage" in capsys.readouterr().err.lower()

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.engine.stats import RunStats
+from repro.engine.slo import LatencyTracker, SloMonitor, SloSpec
 from repro.experiments.reporting import (
+    format_slo_report,
     format_summary,
     format_table,
     format_throughput_figure,
@@ -77,3 +79,35 @@ class TestFigureFormatting:
         out = format_summary("head", [("A", 193.0, "B", 100.0)])
         assert "+93%" in out
         assert out.startswith("head")
+
+
+class TestSloReportFormatting:
+    def snapshot(self):
+        spec = SloSpec.parse("p95<=4@10")
+        tracker = LatencyTracker(threshold=spec.threshold_ticks)
+        monitor = SloMonitor(spec)
+        for v in (0.0, 1.0, 2.0, 9.0):
+            tracker.observe("A", v)
+        tracker.observe_shed("A", 6.0)
+        monitor.end_tick(0, tracker)
+        return spec, tracker.snapshot(), monitor
+
+    def test_table_has_quantiles_and_burn(self):
+        spec, snap, monitor = self.snapshot()
+        out = format_slo_report("title", {"scan": snap}, {"scan": [monitor]})
+        assert out.startswith("title")
+        header = out.splitlines()[1]
+        for column in ("p50", "p95", "p99", "viol%", "breaches", "burn"):
+            assert column in header
+        row = out.splitlines()[-1]
+        assert "scan" in row and "5" in row  # 5 observations
+
+    def test_without_monitors_burn_is_dash(self):
+        _, snap, _ = self.snapshot()
+        row = format_slo_report("t", {"scan": snap}).splitlines()[-1]
+        assert row.rstrip().endswith("-")
+
+    def test_empty_latency_snapshot_renders_dashes(self):
+        snap = LatencyTracker().snapshot()
+        out = format_slo_report("t", {"scan": snap})
+        assert "-" in out.splitlines()[-1]

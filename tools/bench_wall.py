@@ -36,6 +36,10 @@ Benchmarks
                             64-row ``search_batch`` calls; their ratio is
                             recorded per label under ``batch_speedup``
                             (the batch data plane's acceptance evidence)
+- ``latency_p95``         — 50 000 latency observations through the SLO
+                            plane's tracker + per-tick burn-rate monitor,
+                            ending in a p95 quantile estimate (the
+                            observability plane's per-tuple overhead)
 """
 
 from __future__ import annotations
@@ -176,6 +180,24 @@ def bench_probe_plane_batch64(idx=None) -> int:
     return len(rows)
 
 
+def bench_latency_p95() -> int:
+    from repro.engine.slo import LatencyTracker, SloMonitor, SloSpec
+
+    spec = SloSpec.parse("p95<=8@120")
+    tracker = LatencyTracker(threshold=spec.threshold_ticks)
+    monitor = SloMonitor(spec)
+    n = 50_000
+    per_tick = 100
+    streams = ("A", "B", "C")
+    for i in range(n):
+        # Deterministic skewed latencies: mostly fast, a long tail.
+        tracker.observe(streams[i % 3], float(splitmix64(i) % 97) / 8.0)
+        if i % per_tick == per_tick - 1:
+            monitor.end_tick(i // per_tick, tracker)
+    tracker.quantile(0.95)
+    return n
+
+
 def bench_bit_index_migrate() -> int:
     idx = populated_bit_index()
     target_a = IndexConfiguration(JAS, {"A": 10, "B": 3})
@@ -219,6 +241,7 @@ BENCHMARKS: dict[str, tuple] = {
     "probe_plane_serial": (populated_bit_index, bench_probe_plane_serial),
     "probe_plane_batch64": (populated_bit_index, bench_probe_plane_batch64),
     "bit_index_migrate": (None, bench_bit_index_migrate),
+    "latency_p95": (None, bench_latency_p95),
     "end_to_end_scenario": (None, bench_end_to_end_scenario),
     "parallel_training_shared": (None, bench_parallel_training_shared),
 }
@@ -231,6 +254,7 @@ MICRO_PATHS = (
     "probe_plane_serial",
     "probe_plane_batch64",
     "bit_index_migrate",
+    "latency_p95",
 )
 
 
