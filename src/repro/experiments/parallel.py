@@ -84,6 +84,8 @@ class RunSpec:
     partitions: int = 1  # independent hash-partitioned kernels per run
     index_backend: str | None = None  # registry backend override (None = scheme default)
     migration_budget: int | None = None  # tuples moved per tick (None = stop-the-world)
+    lazy_index: bool = False  # tiered lazy admission (cracking); observably = eager
+    promote_threshold: float | None = None  # base probe-heat promotion bar (None = default)
     training: TrainingResult | None = field(default=None, compare=False, repr=False)
 
     def display_label(self) -> str:
@@ -200,6 +202,8 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
         batch_size=spec.batch_size,
         index_backend=spec.index_backend,
         migration_budget=spec.migration_budget,
+        lazy_index=spec.lazy_index,
+        promote_threshold=spec.promote_threshold,
     )
     generator = scenario.make_generator(seed_offset=spec.seed_offset)
     if spec.partitions == 1:
@@ -274,6 +278,8 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         batch_size=spec.batch_size,
         index_backend=spec.index_backend,
         migration_budget=spec.migration_budget,
+        lazy_index=spec.lazy_index,
+        promote_threshold=spec.promote_threshold,
     )
     return RunOutcome(
         spec=spec,

@@ -50,6 +50,8 @@ def profile_scheme(
     degrade: bool = False,
     scheduler: str | None = None,
     flight_recorder_capacity: int = 4096,
+    lazy_index: bool = False,
+    promote_threshold: float | None = None,
 ) -> tuple[RunStats, RegistrySnapshot, float]:
     """Run one scheme with a registry attached; return (stats, snapshot,
     meter_total) where ``snapshot.cost_total == meter_total`` exactly."""
@@ -68,6 +70,8 @@ def profile_scheme(
         degradation=DegradationPolicy() if degrade else None,
         metrics=registry,
         scheduler=scheduler,
+        lazy_index=lazy_index,
+        promote_threshold=promote_threshold,
     )
     stats = executor.run(ticks, scenario.make_generator())
     return stats, registry.snapshot(), executor.meter.total_spent
@@ -103,6 +107,17 @@ def main(argv: list[str] | None = None) -> int:
         default="fifo",
         help="backlog-drain policy",
     )
+    parser.add_argument(
+        "--lazy-index",
+        action="store_true",
+        help="profile with tiered lazy admission (cracking) enabled",
+    )
+    parser.add_argument(
+        "--promote-threshold",
+        type=float,
+        default=None,
+        help="base probe-heat promotion bar (requires --lazy-index)",
+    )
     parser.add_argument("--metrics", type=Path, default=None, help="export snapshot to PATH")
     parser.add_argument(
         "--format", choices=FORMATS, default="jsonl", help="--metrics export format"
@@ -111,6 +126,8 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", type=Path, default=None, help="export retained spans (JSONL) to PATH"
     )
     args = parser.parse_args(argv)
+    if args.promote_threshold is not None and not args.lazy_index:
+        parser.error("--promote-threshold requires --lazy-index")
 
     try:
         stats, snapshot, meter_total = profile_scheme(
@@ -122,6 +139,8 @@ def main(argv: list[str] | None = None) -> int:
             train_ticks=args.train_ticks,
             degrade=args.degrade,
             scheduler=args.scheduler,
+            lazy_index=args.lazy_index,
+            promote_threshold=args.promote_threshold,
         )
     except (ValueError, KeyError) as exc:
         print(f"profile failed: {exc}", file=sys.stderr)
@@ -148,6 +167,20 @@ def main(argv: list[str] | None = None) -> int:
             ],
         )
     )
+    if args.lazy_index:
+        crack_rows = [
+            [
+                s.name,
+                ", ".join(f"{k}={v}" for k, v in s.labels),
+                f"{s.value:,.2f}" if s.value is not None else "-",
+            ]
+            for s in snapshot.series
+            if s.name.startswith("crack_")
+        ]
+        if crack_rows:
+            print()
+            print("lazy-index (cracking) telemetry")
+            print(format_table(["series", "labels", "value"], crack_rows))
     ok = reconciles(snapshot, meter_total)
     print(
         f"\nattributed total {snapshot.cost_total:,.1f} == virtual clock "

@@ -125,6 +125,34 @@ def write_events_csv(path: Path, events_by_scheme: dict[str, list[EngineEvent]])
                 writer.writerow([name, e.tick, e.kind, e.stream or "", detail])
 
 
+def format_backend_table() -> str:
+    """The index backend registry as a printable table."""
+    rows = []
+    for name in BACKENDS.names():
+        d = BACKENDS.resolve(name)
+        caps = d.capabilities
+        flags = [
+            label
+            for label, on in (
+                ("reconfigurable", caps.reconfigurable),
+                ("tunable", caps.tunable),
+                ("per-pattern", caps.per_pattern_modules),
+                ("unindexed", caps.unindexed),
+            )
+            if on
+        ]
+        mem = d.memory
+        shape = f"{mem.slots_per_tuple} slot/tuple"
+        if mem.entries_per_attribute:
+            shape += f", {mem.entries_per_attribute} entry/attr"
+        if mem.bucket_overhead:
+            shape += ", bucket overhead"
+        rows.append([name, d.cls.__name__, ", ".join(flags) or "-", shape, d.summary])
+    return format_table(
+        ["backend", "class", "capabilities", "memory shape", "summary"], rows
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro run", description=__doc__)
     parser.add_argument(
@@ -185,6 +213,26 @@ def main(argv: list[str] | None = None) -> int:
         "(default: unbudgeted single-tick rebuild)",
     )
     parser.add_argument(
+        "--lazy-index",
+        action="store_true",
+        help="tiered lazy admission (cracking): arrivals land in an append "
+        "log and probe heat promotes hot buckets into the structure; "
+        "results are bit-identical to eager admission",
+    )
+    parser.add_argument(
+        "--promote-threshold",
+        type=float,
+        default=None,
+        help="base probe-heat bar for promoting a pending bucket "
+        "(requires --lazy-index; default: CrackConfig default)",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print the index backend registry (name, capabilities, memory "
+        "shape) and exit",
+    )
+    parser.add_argument(
         "--metrics",
         type=Path,
         default=None,
@@ -211,8 +259,17 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for per-scheme latency/SLO reports (JSONL; requires --slo)",
     )
     args = parser.parse_args(argv)
+    if args.list_backends:
+        print(format_backend_table())
+        return 0
     if args.partitions < 1:
         parser.error(f"--partitions must be >= 1, got {args.partitions}")
+    if args.promote_threshold is not None and not args.lazy_index:
+        parser.error("--promote-threshold requires --lazy-index")
+    if args.promote_threshold is not None and args.promote_threshold <= 0:
+        parser.error(
+            f"--promote-threshold must be > 0, got {args.promote_threshold}"
+        )
     if args.index_backend is not None:
         try:
             BACKENDS.resolve(args.index_backend)
@@ -269,6 +326,8 @@ def main(argv: list[str] | None = None) -> int:
                 batch_size=args.batch_size,
                 index_backend=args.index_backend,
                 migration_budget=args.migration_budget,
+                lazy_index=args.lazy_index,
+                promote_threshold=args.promote_threshold,
             )
             events[scheme] = [event for _, event in engine.merged_events()]
             if want_metrics:
@@ -305,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
             batch_size=args.batch_size,
             index_backend=args.index_backend,
             migration_budget=args.migration_budget,
+            lazy_index=args.lazy_index,
+            promote_threshold=args.promote_threshold,
         )
         events[scheme] = list(log)
         if registry is not None:

@@ -1,0 +1,107 @@
+"""Lazy adaptive indexing (cracking) policy and the hot-bucket result cache.
+
+The admission-path refactor (ROADMAP: "adaptive partial indexing"): with
+lazy mode on, arrivals land in a cheap per-bucket append log inside the
+index, probes that touch a cold bucket scan the log slice and record heat,
+and buckets whose heat crosses a workload-driven threshold are promoted
+into the real structure.  Cold buckets demote back to the log under memory
+squeeze.  The literature anchor is database cracking / adaptive merging
+(Idreos et al.; "Main Memory Adaptive Indexing for Multi-core Systems"),
+re-cast onto the paper's cost model.
+
+Two hard invariants keep the refactor safe against the golden corpus:
+
+- **Observational equivalence.**  Every backend charges the full eager
+  admission cost (counters *and* byte gauges) when the tuple arrives, and
+  merged searches reproduce eager matches, order, and charges exactly (see
+  :class:`~repro.indexes.base.StateIndex`).  Promotion and demotion are
+  charge-free re-tiering, so the heat policy below can be any deterministic
+  heuristic without touching an observable.
+- **Cache transparency.**  A :class:`ResultCache` hit replays the exact
+  accountant delta its miss recorded, so a cached probe is
+  indistinguishable from a re-executed one on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Effective thresholds never drop below one recorded probe.
+_MIN_THRESHOLD = 1.0
+
+
+@dataclass(frozen=True)
+class CrackConfig:
+    """Knobs of the lazy admission pipeline.
+
+    ``promote_threshold`` is the *base* probe-heat bar for promoting a
+    bucket's pending slice; the store scales it by observed workload skew
+    (see :func:`effective_threshold`) so hot-pattern workloads promote
+    sooner.  Budgets bound how many tuples one promotion/demotion round may
+    re-tier (``None`` = unbounded), mirroring the migration budget's
+    role of smoothing structural work across ticks.
+    """
+
+    promote_threshold: float = 4.0
+    promote_budget: int | None = None
+    demote_budget: int | None = None
+
+
+def effective_threshold(base: float, assessor) -> float:
+    """Scale the promotion bar by the assessor's observed skew.
+
+    The SRIA/CSRIA statistics already measure how concentrated the probe
+    workload is; the more one pattern dominates (``top`` near 1), the
+    cheaper promotion is to amortise, so the bar drops — down to half the
+    base at total concentration.  With no assessor or no observations the
+    base stands.  Deterministic by construction: it reads only recorded
+    statistics, never clocks or randomness.
+    """
+    if assessor is None:
+        return max(base, _MIN_THRESHOLD)
+    try:
+        freqs = assessor.frequencies()
+    except (AttributeError, ZeroDivisionError):
+        return max(base, _MIN_THRESHOLD)
+    if not freqs:
+        return max(base, _MIN_THRESHOLD)
+    top = max(freqs.values())
+    return max(base * (1.0 - 0.5 * top), _MIN_THRESHOLD)
+
+
+class ResultCache:
+    """Partial join-result cache over hot probes, keyed by (pattern mask,
+    probe values).
+
+    Entries alias the computed match lists — safe because no engine
+    consumer mutates ``SearchOutcome.matches`` — and store the accountant
+    delta the original search charged, which a hit replays verbatim.
+    Validity is a signature of the structural counters ``(inserts,
+    deletes, moves)`` plus the index's ``crack_epoch``: every mutation
+    path (admission, expiry, migration step, retune, degrade) moves one of
+    the counters, and promotion/demotion — charge-free by design — bump
+    the epoch, so stale entries can never serve.
+    """
+
+    __slots__ = ("entries", "hits", "misses", "invalidations")
+
+    def __init__(self) -> None:
+        self.entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot for telemetry."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_invalidations": self.invalidations,
+            "cache_hit_rate": self.hit_rate,
+        }

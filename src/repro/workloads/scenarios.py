@@ -43,7 +43,7 @@ from repro.engine.router import (
 from repro.engine.stem import SteM
 from repro.engine.stream import StreamSchema
 from repro.indexes.base import Accountant, CostParams
-from repro.storage import BACKENDS, IndexBuildSpec
+from repro.storage import BACKENDS, CrackConfig, IndexBuildSpec
 from repro.utils.rng import derive_seed
 from repro.workloads.generators import (
     SyntheticStreamGenerator,
@@ -180,6 +180,8 @@ class PaperScenario:
         initial_hash_patterns: dict[str, list[AccessPattern]] | None = None,
         index_backend: str | None = None,
         migration_budget: int | None = None,
+        lazy_index: bool = False,
+        promote_threshold: float | None = None,
     ) -> dict[str, SteM]:
         """Assemble one SteM per stream for the named index scheme.
 
@@ -191,13 +193,24 @@ class PaperScenario:
         :class:`~repro.core.tuner.NullTuner` over the same assessor.
         ``migration_budget`` makes tuner-approved migrations incremental
         (see :mod:`repro.storage.migration`); ``None`` keeps the legacy
-        single-tick rebuild.
+        single-tick rebuild.  ``lazy_index`` switches every state to the
+        tiered lazy-admission (cracking) pipeline — observably identical to
+        eager on the cost model, cheaper on the wall clock — with
+        ``promote_threshold`` as the base probe-heat promotion bar (see
+        :class:`~repro.storage.CrackConfig`).
         """
         p = self.params
         default_backend = self.backend_for_scheme(scheme)  # also validates the scheme
         backend = index_backend if index_backend is not None else default_backend
         descriptor = BACKENDS.resolve(backend)
         caps = descriptor.capabilities
+        crack = None
+        if lazy_index:
+            crack = (
+                CrackConfig()
+                if promote_threshold is None
+                else CrackConfig(promote_threshold=promote_threshold)
+            )
         stems: dict[str, SteM] = {}
         for i, stream in enumerate(p.stream_names):
             jas = self.query.jas_for(stream)
@@ -264,6 +277,7 @@ class PaperScenario:
                 tuner,
                 cost_params=self.cost_params,
                 migration_budget=migration_budget,
+                crack=crack,
             )
         return stems
 
@@ -314,6 +328,8 @@ class PaperScenario:
         batch_size: int | None = None,
         index_backend: str | None = None,
         migration_budget: int | None = None,
+        lazy_index: bool = False,
+        promote_threshold: float | None = None,
     ) -> AMRExecutor:
         """A ready-to-run executor for the named scheme.
 
@@ -344,8 +360,9 @@ class PaperScenario:
 
         ``index_backend`` overrides each state's physical index with a
         named :data:`~repro.storage.BACKENDS` backend; ``migration_budget``
-        caps tuples relocated per tick during tuner-approved migrations
-        (both forwarded to :meth:`build_stems`).
+        caps tuples relocated per tick during tuner-approved migrations;
+        ``lazy_index``/``promote_threshold`` switch admission to the tiered
+        lazy (cracking) pipeline (all forwarded to :meth:`build_stems`).
         """
         p = self.params
         stems = self.build_stems(
@@ -354,6 +371,8 @@ class PaperScenario:
             initial_hash_patterns=initial_hash_patterns,
             index_backend=index_backend,
             migration_budget=migration_budget,
+            lazy_index=lazy_index,
+            promote_threshold=promote_threshold,
         )
         router = self.make_router(
             explore_prob=p.explore_prob if explore_prob is None else explore_prob

@@ -168,3 +168,58 @@ class TestSloFlags:
         rc = main_mod.main(["slo", "--slo", "oops"])
         assert rc == 2
         assert "usage" in capsys.readouterr().err.lower()
+
+
+class TestLazyIndexFlags:
+    def test_list_backends_exits_0_and_prints_registry(self, capsys):
+        rc = main_mod.main(["run", "--list-backends"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        from repro.storage import BACKENDS
+
+        for name in BACKENDS.names():
+            assert name in out
+        assert "capabilities" in out
+        assert "memory shape" in out
+
+    def test_promote_threshold_requires_lazy_index(self, capsys):
+        rc = main_mod.main(["run", "--promote-threshold", "3.0"])
+        assert rc == 2
+        assert "--promote-threshold requires --lazy-index" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1.5"])
+    def test_promote_threshold_must_be_positive(self, value, capsys):
+        rc = main_mod.main(["run", "--lazy-index", "--promote-threshold", value])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--promote-threshold must be > 0" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_lazy_run_succeeds(self, capsys):
+        rc = run_cli.main(
+            ["--schemes", "scan", "--ticks", "12", "--no-train", "--lazy-index"]
+        )
+        assert rc == 0
+        assert "scan" in capsys.readouterr().out
+
+    def test_lazy_profile_prints_crack_telemetry(self, capsys):
+        from repro.experiments import profiling
+
+        rc = profiling.main(
+            [
+                "--scheme", "amri:sria", "--ticks", "20", "--no-train",
+                "--lazy-index", "--promote-threshold", "2.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lazy-index (cracking) telemetry" in out
+        assert "crack_pending" in out
+
+    def test_profile_promote_threshold_requires_lazy(self, capsys):
+        from repro.experiments import profiling
+
+        with pytest.raises(SystemExit) as exc:
+            profiling.main(["--promote-threshold", "2.0"])
+        assert exc.value.code == 2
+        assert "--promote-threshold requires --lazy-index" in capsys.readouterr().err

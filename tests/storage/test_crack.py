@@ -1,0 +1,399 @@
+"""Tests for lazy adaptive indexing (cracking) and the result cache.
+
+The contract under test (see :mod:`repro.storage.crack` and the lazy
+section of :class:`repro.indexes.base.StateIndex`): with the lazy flag on,
+every observable — matches, match order, accountant counters, byte gauges —
+is bit-identical to eager admission, while promotion/demotion re-tier
+structures charge-free and the store-level result cache replays exact
+accountant deltas on hits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.access_pattern import AccessPattern
+from repro.core.bit_index import make_bit_index
+from repro.engine.tuples import StreamTuple
+from repro.indexes.base import Accountant
+from repro.indexes.hash_index import MultiHashIndex
+from repro.indexes.inverted_index import InvertedListIndex
+from repro.indexes.scan_index import ScanIndex
+from repro.storage import CrackConfig, StateStore, effective_threshold
+from repro.storage.crack import ResultCache
+
+
+def tup(t, a=1, b=2, c=3):
+    return StreamTuple("S", t, {"A": a, "B": b, "C": c})
+
+
+def acct_tuple(acct: Accountant):
+    return (
+        acct.hashes,
+        acct.comparisons,
+        acct.buckets_visited,
+        acct.tuples_examined,
+        acct.inserts,
+        acct.deletes,
+        acct.moves,
+        acct.index_bytes,
+    )
+
+
+def build_pair(jas3, kind: str):
+    """One eager and one lazy instance of the same backend."""
+
+    def build():
+        if kind == "bit":
+            return make_bit_index(jas3, [2, 2, 2])
+        if kind == "hash":
+            patterns = [
+                AccessPattern.from_attributes(jas3, ["A"]),
+                AccessPattern.from_attributes(jas3, ["A", "B"]),
+            ]
+            return MultiHashIndex(jas3, patterns)
+        if kind == "inverted":
+            return InvertedListIndex(jas3)
+        return ScanIndex(jas3)
+
+    eager, lazy = build(), build()
+    lazy.enable_lazy()
+    return eager, lazy
+
+
+BACKEND_KINDS = ("bit", "hash", "inverted", "scan")
+
+
+class TestEffectiveThreshold:
+    def test_no_assessor_keeps_base(self):
+        assert effective_threshold(4.0, None) == 4.0
+
+    def test_empty_frequencies_keep_base(self):
+        class Empty:
+            def frequencies(self):
+                return {}
+
+        assert effective_threshold(4.0, Empty()) == 4.0
+
+    def test_skew_halves_the_bar_at_total_concentration(self):
+        class Hot:
+            def frequencies(self):
+                return {"p": 1.0}
+
+        assert effective_threshold(4.0, Hot()) == 2.0
+
+    def test_floor_is_one_probe(self):
+        class Hot:
+            def frequencies(self):
+                return {"p": 1.0}
+
+        assert effective_threshold(1.2, Hot()) == 1.0
+        assert effective_threshold(0.0, None) == 1.0
+
+    def test_assessor_without_frequencies_keeps_base(self):
+        assert effective_threshold(3.0, object()) == 3.0
+
+
+class TestResultCache:
+    def test_hit_rate_zero_before_lookups(self):
+        cache = ResultCache()
+        assert cache.hit_rate == 0.0
+
+    def test_stats_shape(self):
+        cache = ResultCache()
+        cache.hits, cache.misses, cache.invalidations = 3, 1, 2
+        assert cache.stats() == {
+            "cache_hits": 3,
+            "cache_misses": 1,
+            "cache_invalidations": 2,
+            "cache_hit_rate": 0.75,
+        }
+
+
+class TestLazyObservationalEquivalence:
+    """Eager and lazy instances fed the same sequence are indistinguishable
+    on every counter, gauge, match list, and match order."""
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_admission_charges_identical(self, jas3, kind):
+        eager, lazy = build_pair(jas3, kind)
+        items = [tup(i, a=i % 3, b=i % 2, c=i % 5) for i in range(12)]
+        for item in items:
+            eager.insert(item)
+            lazy.insert(item)
+        eager.remove(items[4])
+        lazy.remove(items[4])
+        assert acct_tuple(eager.accountant) == acct_tuple(lazy.accountant)
+        assert eager.size == lazy.size
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_searches_identical_while_pending(self, jas3, kind):
+        eager, lazy = build_pair(jas3, kind)
+        items = [tup(i, a=i % 3, b=i % 2, c=i % 5) for i in range(15)]
+        for item in items:
+            eager.insert(item)
+            lazy.insert(item)
+        for names, values in (
+            (["A"], {"A": 1}),
+            (["A", "B"], {"A": 1, "B": 1}),
+            (["A", "B", "C"], {"A": 0, "B": 0, "C": 0}),
+            ([], {}),
+        ):
+            ap = AccessPattern.from_attributes(jas3, names)
+            out_e = eager.search(ap, values)
+            out_l = lazy.search(ap, values)
+            assert out_l.matches == out_e.matches, (kind, names)
+            assert [id(m) for m in out_l.matches] == [id(m) for m in out_e.matches]
+            assert out_l.buckets_visited == out_e.buckets_visited
+            assert out_l.tuples_examined == out_e.tuples_examined
+            assert out_l.used_full_scan == out_e.used_full_scan
+        assert acct_tuple(eager.accountant) == acct_tuple(lazy.accountant)
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    @pytest.mark.parametrize("retier", ("promote", "demote"))
+    def test_searches_identical_after_retier(self, jas3, kind, retier):
+        """Promotion and demotion are charge-free and observation-free."""
+        eager, lazy = build_pair(jas3, kind)
+        items = [tup(i, a=i % 3, b=i % 2, c=i % 5) for i in range(15)]
+        for item in items:
+            eager.insert(item)
+            lazy.insert(item)
+        before = acct_tuple(lazy.accountant)
+        if retier == "promote":
+            lazy.promote_pending()
+        else:
+            lazy.promote_pending()
+            lazy.demote_cold()
+        assert acct_tuple(lazy.accountant) == before, "re-tiering charged"
+        ap = AccessPattern.from_attributes(jas3, ["A"])
+        out_e = eager.search(ap, {"A": 1})
+        out_l = lazy.search(ap, {"A": 1})
+        assert [id(m) for m in out_l.matches] == [id(m) for m in out_e.matches]
+        assert out_l.tuples_examined == out_e.tuples_examined
+        assert acct_tuple(eager.accountant) == acct_tuple(lazy.accountant)
+
+    def test_partial_promotion_keeps_suffix_order(self, jas3):
+        """A budgeted promotion takes the *oldest* pending tuples, so the
+        structure tier stays a prefix of global insertion order and merged
+        matches keep eager order."""
+        eager, lazy = build_pair(jas3, "inverted")
+        items = [tup(i, a=1, b=i % 2, c=i) for i in range(10)]
+        for item in items:
+            eager.insert(item)
+            lazy.insert(item)
+        promoted = lazy.promote_pending(budget=4)
+        assert promoted == 4
+        assert lazy.pending_count == 6
+        ap = AccessPattern.from_attributes(jas3, ["A"])
+        out_e = eager.search(ap, {"A": 1})
+        out_l = lazy.search(ap, {"A": 1})
+        assert [id(m) for m in out_l.matches] == [id(m) for m in out_e.matches]
+
+
+class TestPromotionDemotionMechanics:
+    def test_promote_hot_gated_by_heat(self, jas3):
+        _, lazy = build_pair(jas3, "inverted")
+        for i in range(6):
+            lazy.insert(tup(i, a=1))
+        assert lazy.promote_hot(threshold=2.0) == 0  # no probes recorded yet
+        ap = AccessPattern.from_attributes(jas3, ["A"])
+        lazy.search(ap, {"A": 1})
+        lazy.search(ap, {"A": 1})
+        assert lazy.promote_hot(threshold=2.0) == 6
+        assert lazy.promotions_total == 6
+        assert lazy.pending_count == 0
+
+    def test_promotion_bumps_crack_epoch(self, jas3):
+        _, lazy = build_pair(jas3, "bit")
+        for i in range(4):
+            lazy.insert(tup(i, a=i))
+        epoch = lazy.crack_epoch
+        assert lazy.promote_pending() > 0
+        assert lazy.crack_epoch == epoch + 1
+
+    def test_demote_cold_all_or_nothing_for_log_backends(self, jas3):
+        """Inverted/multi-hash keep the pending tier a strict suffix, so a
+        partial demotion is refused rather than performed."""
+        _, lazy = build_pair(jas3, "inverted")
+        for i in range(8):
+            lazy.insert(tup(i, a=1))
+        lazy.promote_pending()
+        assert lazy.demote_cold(budget=3) == 0  # smaller than the resident set
+        assert lazy.demote_cold() == 8
+        assert lazy.pending_count == 8
+        assert lazy.demotions_total == 8
+
+    def test_eager_index_never_demotes(self, jas3):
+        eager, _ = build_pair(jas3, "bit")
+        for i in range(4):
+            eager.insert(tup(i, a=i))
+        assert eager.demote_cold() == 0
+
+    def test_crack_stats_shape(self, jas3):
+        _, lazy = build_pair(jas3, "bit")
+        for i in range(4):
+            lazy.insert(tup(i, a=i % 2))
+        stats = lazy.crack_stats()
+        assert set(stats) == {
+            "hot_buckets",
+            "cold_buckets",
+            "pending",
+            "promotions",
+            "demotions",
+        }
+        assert stats["pending"] == 4
+
+
+class TestStoreResultCache:
+    def make_store(self, jas3, **crack_kw):
+        return StateStore(
+            "S",
+            jas3,
+            make_bit_index(jas3, [2, 2, 2]),
+            window=100,
+            crack=CrackConfig(**crack_kw),
+        )
+
+    def test_hit_replays_exact_accountant_delta(self, jas3, ap3):
+        store = self.make_store(jas3)
+        for i in range(10):
+            store.insert(tup(i, a=i % 3), 0)
+        acct = store.index.accountant
+        before = acct_tuple(acct)
+        first = store.probe(ap3("A"), {"A": 1})
+        after_miss = acct_tuple(acct)
+        delta = tuple(b - a for a, b in zip(before, after_miss))
+        second = store.probe(ap3("A"), {"A": 1})
+        after_hit = acct_tuple(acct)
+        assert tuple(b - a for a, b in zip(after_miss, after_hit)) == delta
+        assert store._result_cache.hits == 1
+        assert second.matches == first.matches
+        assert second.tuples_examined == first.tuples_examined
+
+    def test_insert_invalidates(self, jas3, ap3):
+        store = self.make_store(jas3)
+        for i in range(6):
+            store.insert(tup(i, a=1), 0)
+        out1 = store.probe(ap3("A"), {"A": 1})
+        store.insert(tup(99, a=1), 0)
+        out2 = store.probe(ap3("A"), {"A": 1})
+        assert store._result_cache.invalidations == 1
+        assert len(out2.matches) == len(out1.matches) + 1
+
+    def test_promotion_invalidates_via_epoch(self, jas3, ap3):
+        """ISSUE contract: cache entries are invalidated on promotion even
+        though promotion never changes a search observable."""
+        store = self.make_store(jas3)
+        for i in range(6):
+            store.insert(tup(i, a=1), 0)
+        store.probe(ap3("A"), {"A": 1})
+        store.index.promote_pending()
+        store.probe(ap3("A"), {"A": 1})
+        assert store._result_cache.invalidations == 1
+        assert store._result_cache.hits == 0
+
+    def test_unhashable_values_bypass_cache(self, jas3, ap3):
+        # Scan backend: the bit index's value mapper (correctly) rejects
+        # non-scalar attribute values, the scan index accepts anything.
+        store = StateStore(
+            "S", jas3, ScanIndex(jas3), window=100, crack=CrackConfig()
+        )
+        item = StreamTuple("S", 0, {"A": (1, 2), "B": 2, "C": 3})
+        store.insert(item, 0)
+        out = store.probe(ap3("A"), {"A": (1, 2)})
+        # tuples hash; lists do not — a genuinely unhashable probe value:
+        out2 = store.probe(ap3("A"), {"A": [1, 2]})
+        assert out.matches == [item]
+        assert out2.matches == []
+        assert store._result_cache.entries  # hashable key cached
+        assert store.probe(ap3("A"), {"A": (1, 2)}).matches == [item]
+
+    def test_missing_attribute_still_raises(self, jas3, ap3):
+        store = self.make_store(jas3)
+        store.insert(tup(0), 0)
+        with pytest.raises(KeyError):
+            store.probe(ap3("A"), {})
+
+    def test_probe_batch_equals_serial_probes(self, jas3, ap3):
+        serial = self.make_store(jas3)
+        batch = self.make_store(jas3)
+        for i in range(8):
+            serial.insert(tup(i, a=i % 3), 0)
+            batch.insert(tup(i, a=i % 3), 0)
+        rows = [{"A": 1}, {"A": 2}, {"A": 1}, {"A": 0}]
+        out_s = [serial.probe(ap3("A"), v) for v in rows]
+        out_b = batch.probe_batch(ap3("A"), rows)
+        assert [o.matches for o in out_b] == [o.matches for o in out_s]
+        assert acct_tuple(serial.index.accountant) == acct_tuple(
+            batch.index.accountant
+        )
+
+
+class TestStoreCrackSteps:
+    def test_crack_step_promotes_hot_buckets(self, jas3, ap3):
+        store = StateStore(
+            "S",
+            jas3,
+            make_bit_index(jas3, [2, 2, 2]),
+            window=100,
+            crack=CrackConfig(promote_threshold=2.0),
+        )
+        for i in range(8):
+            store.insert(tup(i, a=1), 0)
+        # Two misses (an insert between them invalidates the cache entry, as
+        # admission does in a live run — a cache *hit* never touches the
+        # index, so it accrues no heat by design).
+        store.probe(ap3("A"), {"A": 1})
+        store.insert(tup(99, a=1), 0)
+        store.probe(ap3("A"), {"A": 1})
+        promoted = store.crack_step()
+        assert promoted > 0
+        assert store.index.promotions_total == promoted
+
+    def test_demote_step_requires_lazy(self, jas3):
+        eager = StateStore("S", jas3, make_bit_index(jas3, [2, 2, 2]), window=100)
+        assert eager.crack_step() == 0
+        assert eager.demote_step() == 0
+        assert not eager.lazy
+
+    def test_crack_telemetry_merges_cache_stats(self, jas3, ap3):
+        store = StateStore(
+            "S", jas3, make_bit_index(jas3, [2, 2, 2]), window=100, crack=CrackConfig()
+        )
+        store.insert(tup(0, a=1), 0)
+        store.probe(ap3("A"), {"A": 1})
+        telem = store.crack_telemetry()
+        assert telem["cache_misses"] == 1
+        assert telem["pending"] == 1
+
+    def test_degrade_to_scan_stays_lazy(self, jas3):
+        store = StateStore(
+            "S", jas3, make_bit_index(jas3, [2, 2, 2]), window=100, crack=CrackConfig()
+        )
+        for i in range(4):
+            store.insert(tup(i), 0)
+        store.degrade_to_scan()
+        assert isinstance(store.index, ScanIndex)
+        assert store.index.lazy
+        assert store.lazy
+
+
+class TestLifecyclePropagatesLazy:
+    def test_fresh_migration_structure_inherits_lazy(self, jas3):
+        from repro.core.index_config import IndexConfiguration
+
+        store = StateStore(
+            "S",
+            jas3,
+            make_bit_index(jas3, [2, 2, 2]),
+            window=100,
+            migration_budget=2,
+            crack=CrackConfig(),
+        )
+        for i in range(6):
+            store.insert(tup(i, a=i % 2), 0)
+        store.lifecycle.begin(IndexConfiguration(jas3, [3, 2, 1]))
+        assert store.index.lazy, "fresh structure lost the lazy flag"
+        while store.lifecycle.active:
+            store.migration_step()
+        assert store.index.size == 6
