@@ -23,6 +23,8 @@ subcommands (python -m repro <cmd> --help for flags):
             tiered lazy admission, --list-backends for the index registry)
   figures   regenerate the paper's figures/tables <fig6|fig6-hash|fig7|table2|all>
   slo       tail-latency + SLO burn-rate report across scenarios (--json export)
+  fleet     divergent replica fleet report: per-replica index configs, routing
+            shares, degrade-to-broadcast drills (--faults + --fault-replica)
 
 examples:    examples/quickstart.py | package_tracking.py | stock_monitoring.py |
              sensor_network.py | assessment_comparison.py | diagnostics_tour.py
@@ -37,6 +39,7 @@ COMMANDS = {
     "run": "repro.experiments.run",
     "figures": "repro.experiments.figures",
     "slo": "repro.experiments.slo_report",
+    "fleet": "repro.experiments.fleet_cli",
 }
 
 

@@ -42,6 +42,7 @@ from repro.core.cost_model import (
     cost_breakdown,
     estimate_cd,
     migration_cost,
+    pattern_search_cost,
 )
 from repro.core.index_config import IndexConfiguration, uniform_configuration
 from repro.core.lattice import AccessPatternLattice
@@ -53,8 +54,12 @@ from repro.core.probe_plan import (
     compile_probe_plan,
 )
 from repro.core.selector import (
+    FleetSelector,
     IndexSelector,
+    candidate_pool,
+    fleet_cost,
     select_exhaustive,
+    select_fleet,
     select_greedy,
     select_hash_patterns,
 )
@@ -75,6 +80,7 @@ __all__ = [
     "CSRIA",
     "CostBreakdown",
     "EquiDepthValueMapper",
+    "FleetSelector",
     "HashValueMapper",
     "DIA",
     "FrequencyAssessor",
@@ -94,10 +100,12 @@ __all__ = [
     "TuningContext",
     "WorkloadStatistics",
     "all_access_patterns",
+    "candidate_pool",
     "compile_matcher",
     "compile_probe_plan",
     "cost_breakdown",
     "estimate_cd",
+    "fleet_cost",
     "format_report",
     "inspect_index",
     "inspect_state",
@@ -105,7 +113,9 @@ __all__ = [
     "make_bit_index",
     "migration_cost",
     "occupancy_skew",
+    "pattern_search_cost",
     "select_exhaustive",
+    "select_fleet",
     "select_greedy",
     "select_hash_patterns",
     "uniform_configuration",

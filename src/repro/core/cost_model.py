@@ -166,6 +166,31 @@ def expected_tuples_compared(
     return stats.stored_tuples / float(2**b_eff)
 
 
+def pattern_search_cost(
+    config: IndexConfiguration,
+    ap: AccessPattern,
+    stats: WorkloadStatistics,
+    params: CostParams | None = None,
+    live_cap: float | None = None,
+) -> float:
+    """Per-request search cost of one access pattern under one configuration.
+
+    The bracketed term of Equation 1 — request hashing + bucket visits +
+    tuple comparisons — *unweighted* by ``λ_r · F_ap``, so callers can
+    aggregate it per pattern (the fleet selector's marginal-benefit greedy)
+    or per probe (the replica router's per-request scoring).  ``live_cap``
+    is the configuration's live-bucket bound (pattern-independent); pass it
+    precomputed when evaluating one configuration against many patterns.
+    """
+    if params is None:
+        params = CostParams()
+    return (
+        ap.n_attributes * params.c_hash
+        + expected_bucket_visits(config, ap, stats, live_cap) * params.c_bucket
+        + expected_tuples_compared(config, ap, stats) * params.c_compare
+    )
+
+
 def cost_breakdown(
     config: IndexConfiguration,
     stats: WorkloadStatistics,

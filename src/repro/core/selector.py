@@ -13,16 +13,21 @@ the configuration with the lowest estimated cost.  Two strategies:
 
 Also here: :func:`select_hash_patterns`, the "conventional index selection"
 the paper applies to the multi-hash baseline — index the ``k`` most frequent
-access patterns.
+access patterns; and the fleet extension: :func:`candidate_pool` (the shared
+enumeration both strategies and the fleet search draw from),
+:func:`select_fleet` / :class:`FleetSelector` picking a *set* of K
+complementary configurations for a divergent replica fleet, where each
+access pattern is served by whichever replica's configuration is cheapest
+for it (the divergent-design idea of RITA, applied to stream states).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from functools import lru_cache
 
 from repro.core.access_pattern import AccessPattern, JoinAttributeSet
-from repro.core.cost_model import WorkloadStatistics, estimate_cd
+from repro.core.cost_model import WorkloadStatistics, estimate_cd, pattern_search_cost
 from repro.core.index_config import IndexConfiguration
 from repro.indexes.base import CostParams
 from repro.utils.validation import check_non_negative, check_positive
@@ -94,7 +99,7 @@ def select_exhaustive(
     caps = _attribute_caps(jas, budget, stats.domain_bits, max_bits_per_attribute)
     best_cfg: IndexConfiguration | None = None
     best_key: tuple[float, int, tuple[int, ...]] | None = None
-    for cfg in _candidate_configs(jas, tuple(caps), budget):
+    for cfg in candidate_pool(jas, tuple(caps), budget):
         key = (estimate_cd(cfg, stats, params), cfg.total_bits, cfg.bits)
         if best_key is None or key < best_key:
             best_key = key
@@ -104,7 +109,7 @@ def select_exhaustive(
 
 
 @lru_cache(maxsize=256)
-def _candidate_configs(
+def candidate_pool(
     jas: JoinAttributeSet, caps: tuple[int, ...], budget: int
 ) -> tuple[IndexConfiguration, ...]:
     """The exhaustive candidate set, built once per (JAS, caps, budget).
@@ -112,11 +117,17 @@ def _candidate_configs(
     Configurations are immutable, so successive tuning rounds — which
     re-enumerate the identical space every time — share one object per
     allocation (and with it the per-pattern bit memos on each object).
+    The fleet selector searches the same pool, so single-instance and
+    fleet tuning stay on one enumeration.
     """
     return tuple(
         IndexConfiguration(jas, bits)
         for bits in enumerate_allocations(list(caps), budget)
     )
+
+
+#: Backwards-compatible private alias (extracted to :func:`candidate_pool`).
+_candidate_configs = candidate_pool
 
 
 def select_greedy(
@@ -252,3 +263,130 @@ def pad_patterns_to_k(
             out.append(p)
             have.add(p.mask)
     return out
+
+
+# --------------------------------------------------------------------- #
+# fleet selection (divergent replica configurations)
+
+
+def fleet_cost(
+    configs: Sequence[IndexConfiguration],
+    stats: WorkloadStatistics,
+    params: CostParams | None = None,
+) -> float:
+    """``C_D`` of a *fleet*: every replica maintains its index on every
+    arrival (arrivals replicate), while each access pattern is served by
+    whichever replica's configuration searches it cheapest (probes route).
+
+        C_fleet = Σ_c λ_d · N_A(c) · C_h
+                + λ_r · Σ_ap F_ap · min_c search(c, ap)
+
+    This is the objective the divergent-design literature optimises: a set
+    of complementary configurations can beat K copies of the single best
+    one whenever no single key map serves every frequent pattern well.
+    """
+    if params is None:
+        params = CostParams()
+    maintenance = sum(
+        stats.lambda_d * len(cfg.indexed_attributes) * params.c_hash for cfg in configs
+    )
+    search = 0.0
+    for ap, f_ap in stats.frequencies.items():
+        if f_ap == 0.0:
+            continue
+        search += f_ap * min(
+            pattern_search_cost(cfg, ap, stats, params) for cfg in configs
+        )
+    return maintenance + stats.lambda_r * search
+
+
+def select_fleet(
+    stats: WorkloadStatistics,
+    jas: JoinAttributeSet,
+    budget: int,
+    k: int,
+    params: CostParams | None = None,
+    *,
+    fleet_bit_budget: int | None = None,
+    max_bits_per_attribute: int = DEFAULT_MAX_BITS_PER_ATTRIBUTE,
+) -> tuple[IndexConfiguration, ...]:
+    """Pick K complementary configurations minimising :func:`fleet_cost`.
+
+    Greedy marginal-benefit: slot by slot, add the candidate from
+    :func:`candidate_pool` that lowers the fleet cost of the set chosen so
+    far the most.  Each replica respects the per-state ``budget``; the
+    optional ``fleet_bit_budget`` additionally caps the *summed* bits
+    across the fleet (the fleet-wide memory budget — defaults to
+    ``k * budget``, i.e. no extra constraint).  Deterministic tie-breaks
+    (cost, total bits, lexicographic bit vector), so the same statistics
+    always produce the same fleet.  ``k == 1`` reduces to
+    :func:`select_exhaustive` exactly.
+
+    When a slot cannot improve on the set already chosen (a narrow
+    workload, or an exhausted fleet budget), it deterministically repeats
+    the best affordable candidate — replicas may share a configuration;
+    the router then balances them by load.
+    """
+    check_positive("k", k)
+    check_non_negative("budget", budget)
+    caps = _attribute_caps(jas, budget, stats.domain_bits, max_bits_per_attribute)
+    pool = candidate_pool(jas, tuple(caps), budget)
+    remaining = k * budget if fleet_bit_budget is None else fleet_bit_budget
+    check_non_negative("fleet_bit_budget", remaining)
+    chosen: list[IndexConfiguration] = []
+    for _ in range(k):
+        best_cfg: IndexConfiguration | None = None
+        best_key: tuple[float, int, tuple[int, ...]] | None = None
+        for cfg in pool:
+            if cfg.total_bits > remaining:
+                continue
+            key = (fleet_cost([*chosen, cfg], stats, params), cfg.total_bits, cfg.bits)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_cfg = cfg
+        assert best_cfg is not None  # the all-zero allocation always fits
+        chosen.append(best_cfg)
+        remaining -= best_cfg.total_bits
+    return tuple(chosen)
+
+
+class FleetSelector:
+    """Reusable fleet selector bound to a JAS, budgets, and fleet size.
+
+    The fleet-level analogue of :class:`IndexSelector`: construct once per
+    state, call :meth:`select` whenever fresh statistics arrive (initial
+    training, or the fleet engine's periodic retune over the replicas'
+    merged assessor frequencies) to get the K-configuration assignment —
+    replica ``i`` holds the ``i``-th entry.
+    """
+
+    def __init__(
+        self,
+        jas: JoinAttributeSet,
+        budget: int,
+        k: int,
+        params: CostParams | None = None,
+        *,
+        fleet_bit_budget: int | None = None,
+        max_bits_per_attribute: int = DEFAULT_MAX_BITS_PER_ATTRIBUTE,
+    ) -> None:
+        check_positive("k", k)
+        check_non_negative("budget", budget)
+        self.jas = jas
+        self.budget = budget
+        self.k = k
+        self.params = params if params is not None else CostParams()
+        self.fleet_bit_budget = fleet_bit_budget
+        self.max_bits_per_attribute = max_bits_per_attribute
+
+    def select(self, stats: WorkloadStatistics) -> tuple[IndexConfiguration, ...]:
+        """The best K-configuration set for the given statistics."""
+        return select_fleet(
+            stats,
+            self.jas,
+            self.budget,
+            self.k,
+            self.params,
+            fleet_bit_budget=self.fleet_bit_budget,
+            max_bits_per_attribute=self.max_bits_per_attribute,
+        )

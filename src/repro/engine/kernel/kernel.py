@@ -91,48 +91,54 @@ class EngineKernel:
         )
         self.host = host if host is not None else ctx
 
-    def run(self, duration: int, arrivals) -> RunStats:
-        """Execute ``duration`` ticks; ``arrivals`` is ``tick -> list[StreamTuple]``.
+    def step(self, t: int, duration: int, incoming) -> TickState:
+        """Advance the engine one tick and return its :class:`TickState`.
 
-        Returns the collected :class:`RunStats`; an out-of-memory death is
-        recorded on the stats, not raised.
+        Exactly one iteration of :meth:`run`'s loop body — opening the
+        tick span, running every stage (stopping on death), and closing
+        the span — so external drivers (the fleet engine, which ticks K
+        replicas in lock step) interleave with other work between ticks
+        while staying bit-identical to a plain :meth:`run`.  Callers own
+        the loop: stop stepping once ``tick.died`` and call
+        :meth:`finish` exactly once at the end.
         """
-        check_positive("duration", duration)
         ctx = self.ctx
-        cfg = ctx.config
         m = ctx.metrics
-        last_tick = 0
-        for t in range(duration):
-            last_tick = t
-            ctx.meter.start_tick()
-            tick = TickState(tick=t, duration=duration)
-            if m is not None:
-                m.counter("engine_ticks_total", "ticks executed").inc()
-                ctx.spent_at_tick_start = ctx.meter.total_spent
-                tick.span = m.start_span("tick", t)
-            tick.incoming = arrivals(t)
-            tick.audit_due = t % cfg.sample_interval == 0 or t == duration - 1
-            for stage in self.stages:
-                stage.run(ctx, tick)
-                if tick.died:
-                    break
-            if m is not None and tick.span is not None:
-                tick_cost = ctx.meter.total_spent - ctx.spent_at_tick_start
-                m.histogram(
-                    "tick_cost_units",
-                    "cost units spent per tick",
-                    buckets=TICK_COST_BUCKETS,
-                ).observe(tick_cost)
-                m.end_span(
-                    tick.span, t, cost=round(tick_cost, 3), backlog=len(ctx.queue)
-                )
+        ctx.meter.start_tick()
+        tick = TickState(tick=t, duration=duration)
+        if m is not None:
+            m.counter("engine_ticks_total", "ticks executed").inc()
+            ctx.spent_at_tick_start = ctx.meter.total_spent
+            tick.span = m.start_span("tick", t)
+        tick.incoming = incoming
+        tick.audit_due = t % ctx.config.sample_interval == 0 or t == duration - 1
+        for stage in self.stages:
+            stage.run(ctx, tick)
             if tick.died:
                 break
-            if ctx.invariant_checker is not None:
-                ctx.invariant_checker.check(self.host, t)
+        if m is not None and tick.span is not None:
+            tick_cost = ctx.meter.total_spent - ctx.spent_at_tick_start
+            m.histogram(
+                "tick_cost_units",
+                "cost units spent per tick",
+                buckets=TICK_COST_BUCKETS,
+            ).observe(tick_cost)
+            m.end_span(tick.span, t, cost=round(tick_cost, 3), backlog=len(ctx.queue))
+        if not tick.died and ctx.invariant_checker is not None:
+            ctx.invariant_checker.check(self.host, t)
+        return tick
+
+    def finish(self, last_tick: int) -> RunStats:
+        """End-of-run cleanup; returns the collected :class:`RunStats`.
+
+        Closes any still-open tuple spans (backlog at end of run or at
+        death) so the flight recorder's last ticks reconstruct, and folds
+        the injector's activation count into the stats.  Call exactly once
+        after the final :meth:`step` (``last_tick`` is that step's tick).
+        """
+        ctx = self.ctx
+        m = ctx.metrics
         if m is not None:
-            # Close any still-open tuple spans (backlog at end of run or
-            # at death) so the flight recorder's last ticks reconstruct.
             for item in ctx.queue:
                 span = ctx.live_spans.pop(id(item), None)
                 if span is not None:
@@ -141,3 +147,18 @@ class EngineKernel:
         if ctx.fault_injector is not None:
             ctx.stats.faults_injected = ctx.fault_injector.injected
         return ctx.stats
+
+    def run(self, duration: int, arrivals) -> RunStats:
+        """Execute ``duration`` ticks; ``arrivals`` is ``tick -> list[StreamTuple]``.
+
+        Returns the collected :class:`RunStats`; an out-of-memory death is
+        recorded on the stats, not raised.
+        """
+        check_positive("duration", duration)
+        last_tick = 0
+        for t in range(duration):
+            last_tick = t
+            tick = self.step(t, duration, arrivals(t))
+            if tick.died:
+                break
+        return self.finish(last_tick)

@@ -34,6 +34,9 @@ class TrainingResult:
 
     frequencies: dict[str, dict[AccessPattern, float]] = field(default_factory=dict)
     configs: dict[str, IndexConfiguration] = field(default_factory=dict)
+    #: The full per-state statistics the configs were selected from —
+    #: what fleet selection and the replica router re-consume.
+    statistics: dict[str, WorkloadStatistics] = field(default_factory=dict)
 
     def hash_patterns(self, k: int) -> dict[str, list[AccessPattern]]:
         """Per-state module sets: the k most frequent patterns, padded so a
@@ -84,6 +87,7 @@ def train_initial_state(
             frequencies=freqs if freqs else {AccessPattern.full_scan(stem.jas): 1.0},
             domain_bits=domain_bits,
         )
+        result.statistics[stream] = stats
         result.configs[stream] = select_exhaustive(
             stats, stem.jas, p.bit_budget, scenario.cost_params
         )
@@ -206,6 +210,151 @@ def run_scheme_partitioned(
         )
 
     engine = PartitionedEngine(build, partitions, partitioner=partitioner)
+    stats = engine.run(
+        duration, lambda: scenario.make_generator(seed_offset=seed_offset)
+    )
+    return stats, engine
+
+
+def run_scheme_fleet(
+    scenario: PaperScenario,
+    scheme: str,
+    duration: int,
+    *,
+    fleet: int,
+    training: TrainingResult | None = None,
+    hash_k: int | None = None,
+    seed_offset: int = 0,
+    mode: str = "routed",
+    fault_replica: int = 0,
+    retune_interval: int | None = None,
+    max_backlog: int = 4096,
+    fleet_event_log=None,
+    fleet_metrics=None,
+    **executor_overrides,
+) -> tuple[RunStats, "FleetEngine"]:
+    """Execute one scheme across a ``fleet`` of divergent replicas.
+
+    Every replica is a fully-wired executor holding the *same* windows
+    (arrivals replicate) under a *different* index configuration: with
+    ``training`` given and a bit-address scheme, replica ``i`` is pinned
+    to slot ``i`` of each stream's :func:`~repro.core.selector.select_fleet`
+    set; without training every replica starts from the scenario default.
+    Probes route to the modeled-cheapest healthy replica
+    (``mode="routed"``) or execute everywhere (``mode="broadcast"``, the
+    differential oracle).  Returns the merged :class:`RunStats` plus the
+    engine (per-replica stats, routing shares, merged snapshots).
+
+    ``fleet == 1`` is bit-for-bit :func:`run_scheme`.  For ``fleet > 1``
+    each replica's own tuner is frozen (assessors keep recording) and
+    adaptation moves up a level: with ``retune_interval`` set, the fleet
+    merges the replicas' assessor statistics and re-selects the whole
+    configuration set on that cadence.
+
+    A fault plan in ``executor_overrides`` attaches only to replica
+    ``fault_replica`` — squeezing one replica is the degrade-to-broadcast
+    drill; faulting all replicas identically would just be K copies of
+    the single-engine fault run.  Per-replica attachments (``event_log``,
+    ``metrics``, ``latency``, ``slo``) may be zero-argument factories,
+    exactly as in :func:`run_scheme_partitioned`; ``fleet_event_log`` /
+    ``fleet_metrics`` are the *fleet-level* telemetry objects
+    (``replica_route`` events, ``fleet_*`` series).
+    """
+    from repro.core.selector import FleetSelector, select_fleet
+    from repro.core.tuner import NullTuner
+    from repro.fleet import FleetEngine
+
+    p = scenario.params
+    initial_configs = training.configs if training is not None else None
+    initial_hash = None
+    if training is not None and scheme.startswith("hash:"):
+        k = int(scheme.split(":", 1)[1]) if hash_k is None else hash_k
+        initial_hash = training.hash_patterns(k)
+
+    stats_for: dict[str, WorkloadStatistics] = {}
+    domain_bits = scenario.domain_bits()
+    for stream in p.stream_names:
+        if training is not None and stream in training.statistics:
+            stats_for[stream] = training.statistics[stream]
+        else:
+            stats_for[stream] = WorkloadStatistics(
+                lambda_d=float(p.rate),
+                lambda_r=1.0,
+                window=float(p.window),
+                frequencies={},
+                domain_bits=domain_bits,
+            )
+
+    fleet_configs: dict[str, tuple[IndexConfiguration, ...]] = {}
+    selectors: dict[str, FleetSelector] = {}
+    # Rotate which replica holds which slot per stream: coverage per state
+    # is rotation-invariant (the cost model min-reduces over the same
+    # set), but without rotation replica 0 would hold the best-single
+    # slot for every stream and win all traffic.
+    slot_offsets = {stream: j for j, stream in enumerate(sorted(p.stream_names))}
+    divergent = fleet > 1 and scenario.backend_for_scheme(scheme) in (
+        "bit_address",
+        "static_bitmap",
+    )
+    if divergent:
+        for stream in p.stream_names:
+            jas = scenario.query.jas_for(stream)
+            if training is not None and stream in training.statistics:
+                fleet_configs[stream] = select_fleet(
+                    training.statistics[stream],
+                    jas,
+                    p.bit_budget,
+                    fleet,
+                    scenario.cost_params,
+                )
+            if retune_interval is not None:
+                selectors[stream] = FleetSelector(
+                    jas, p.bit_budget, fleet, scenario.cost_params
+                )
+
+    def build(index: int):
+        overrides = dict(executor_overrides)
+        if index != fault_replica:
+            overrides.pop("faults", None)
+            overrides.pop("fault_seed", None)
+        for attachment in ("event_log", "metrics", "latency", "slo"):
+            factory = overrides.get(attachment)
+            if callable(factory):
+                overrides[attachment] = factory()
+        configs = initial_configs
+        if fleet_configs:
+            configs = {
+                s: cfgs[(index + slot_offsets[s]) % fleet]
+                for s, cfgs in fleet_configs.items()
+            }
+        executor = scenario.make_executor(
+            scheme,
+            initial_configs=configs,
+            initial_hash_patterns=initial_hash,
+            **overrides,
+        )
+        if fleet > 1:
+            # Per-replica tuners would re-converge every replica to its own
+            # local optimum, collapsing the divergence the fleet exists
+            # for.  Freeze them (assessors keep recording through probes)
+            # and let the fleet-level retune hook adapt the whole set.
+            for stem in executor.stems.values():
+                stem.tuner = NullTuner(getattr(stem.tuner, "assessor", None))
+        return executor
+
+    engine = FleetEngine(
+        build,
+        fleet,
+        stats_for=stats_for,
+        params=scenario.cost_params,
+        mode=mode,
+        slot_offsets=slot_offsets if divergent else None,
+        selectors=selectors or None,
+        retune_interval=retune_interval,
+        max_backlog=max_backlog,
+        event_log=fleet_event_log,
+        metrics=fleet_metrics,
+    )
     stats = engine.run(
         duration, lambda: scenario.make_generator(seed_offset=seed_offset)
     )

@@ -37,7 +37,12 @@ from repro.engine.slo import (
 )
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
-from repro.experiments.harness import TrainingResult, cached_training, run_scheme
+from repro.experiments.harness import (
+    TrainingResult,
+    cached_training,
+    run_scheme,
+    run_scheme_fleet,
+)
 from repro.workloads.scenarios import PaperScenario, ScenarioParams
 
 
@@ -82,6 +87,7 @@ class RunSpec:
     scheduler: str | None = None  # backlog-drain policy name (None = fifo)
     batch_size: int | None = None  # batched data plane width (None = serial)
     partitions: int = 1  # independent hash-partitioned kernels per run
+    fleet: int = 1  # divergent replicas with cost-routed probes (1 = single engine)
     index_backend: str | None = None  # registry backend override (None = scheme default)
     migration_budget: int | None = None  # tuples moved per tick (None = stop-the-world)
     lazy_index: bool = False  # tiered lazy admission (cracking); observably = eager
@@ -245,13 +251,78 @@ def _merge_outcome(spec: RunSpec, parts: list[_PartitionResult]) -> RunOutcome:
     )
 
 
+def execute_spec_fleet(spec: RunSpec) -> RunOutcome:
+    """Run one spec as a divergent replica fleet of ``spec.fleet`` engines.
+
+    Arrivals replicate to every replica and probes route to the
+    modeled-cheapest one (:class:`~repro.fleet.FleetEngine` via
+    :func:`~repro.experiments.harness.run_scheme_fleet`).  The outcome's
+    ``stats`` is the deterministic fleet merge (logical outputs, fleet
+    death only when every replica died), ``partition_stats`` carries the
+    per-replica stats, and events/metrics/latency are the merged
+    per-replica views plus the fleet-level ``replica_route`` timeline.
+    ``spec.fleet == 1`` is the plain single-engine run, bit-for-bit.
+    """
+    scenario = PaperScenario(spec.params)
+    training = _resolve_training(spec)
+    registry = MetricsRegistry() if spec.collect_metrics else None
+    fleet_log = EventLog()
+    stats, engine = run_scheme_fleet(
+        scenario,
+        spec.scheme,
+        spec.ticks,
+        fleet=spec.fleet,
+        training=training,
+        seed_offset=spec.seed_offset,
+        fleet_event_log=fleet_log,
+        fleet_metrics=registry,
+        # Per-replica attachments go in as factories; each replica
+        # materialises its own (instances must not be shared).
+        event_log=EventLog,
+        faults=spec.faults,
+        fault_seed=spec.fault_seed,
+        degradation=DegradationPolicy() if spec.degrade else None,
+        metrics=MetricsRegistry if spec.collect_metrics else None,
+        latency=(lambda: _slo_attachments(spec)[0]) if spec.slo else None,
+        scheduler=spec.scheduler,
+        batch_size=spec.batch_size,
+        index_backend=spec.index_backend,
+        migration_budget=spec.migration_budget,
+        lazy_index=spec.lazy_index,
+        promote_threshold=spec.promote_threshold,
+    )
+    events = [event for _, event in engine.merged_events()]
+    events.extend(fleet_log)
+    events.sort(key=lambda e: e.tick)
+    merged_metrics = engine.merged_snapshot()
+    if registry is not None:
+        fleet_snap = registry.snapshot()
+        merged_metrics = (
+            merge_snapshots([merged_metrics, fleet_snap])
+            if merged_metrics is not None
+            else fleet_snap
+        )
+    return RunOutcome(
+        spec=spec,
+        stats=stats,
+        events=tuple(events),
+        metrics=merged_metrics,
+        latency=engine.merged_latency(),
+        partition_stats=tuple(engine.replica_stats),
+    )
+
+
 def execute_spec(spec: RunSpec) -> RunOutcome:
     """Run one spec to completion (used directly and as the pool worker).
 
     ``spec.partitions > 1`` runs every partition in-process, serially, and
     merges — byte-identical to the pool-per-partition path
     (:func:`execute_spec_partitioned`), which the partition suite asserts.
+    ``spec.fleet > 1`` delegates to :func:`execute_spec_fleet` (the two
+    are mutually exclusive; the CLI enforces it).
     """
+    if spec.fleet > 1:
+        return execute_spec_fleet(spec)
     if spec.partitions > 1:
         return _merge_outcome(
             spec, [_run_partition(spec, i) for i in range(spec.partitions)]

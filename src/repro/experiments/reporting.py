@@ -218,6 +218,46 @@ def format_slo_report(
     return f"{title}\n" + format_table(headers, rows)
 
 
+def format_fleet_table(title: str, rows: Sequence[Mapping[str, object]]) -> str:
+    """The fleet 'figure': per-replica index configs + routing shares.
+
+    ``rows`` is :meth:`repro.fleet.FleetEngine.replica_rows` output — one
+    mapping per replica with its routed-request share, broadcast count,
+    modeled cost of won requests, and the per-stream index configurations
+    it ended the run holding (one extra line per stream under each row).
+    """
+    body: list[list[object]] = []
+    config_lines: list[str] = []
+    for row in rows:
+        share = row["share"]
+        body.append(
+            [
+                row["replica"],
+                "up" if row["alive"] else "down",
+                row["routed"],
+                f"{100.0 * float(share):.1f}%" if isinstance(share, float) else share,
+                row["broadcasts"],
+                f"{float(row['modeled_cost']):,.1f}",
+                row["backlog"],
+                row["outputs"],
+            ]
+        )
+        configs = row["configs"]
+        if isinstance(configs, Mapping):
+            for stream in sorted(configs):
+                config_lines.append(
+                    f"  replica {row['replica']}  {stream}: {configs[stream]}"
+                )
+    headers = [
+        "replica", "state", "routed", "share", "broadcasts", "modeled_cost",
+        "backlog", "outputs",
+    ]
+    parts = [title, format_table(headers, body)]
+    if config_lines:
+        parts.append("\n".join(config_lines))
+    return "\n".join(parts)
+
+
 def format_summary(
     title: str, comparisons: Sequence[tuple[str, float, str, float]]
 ) -> str:

@@ -49,11 +49,17 @@ from repro.engine.slo import (
 )
 from repro.engine.stats import RunStats
 from repro.engine.tracing import EngineEvent, EventLog
-from repro.experiments.harness import run_scheme, run_scheme_partitioned, train_initial_state
+from repro.experiments.harness import (
+    run_scheme,
+    run_scheme_fleet,
+    run_scheme_partitioned,
+    train_initial_state,
+)
 from repro.storage import BACKENDS, UnknownBackendError
 from repro.experiments.reporting import (
     format_component_breakdown,
     format_fault_timeline,
+    format_fleet_table,
     format_slo_report,
     format_table,
     format_throughput_figure,
@@ -193,6 +199,14 @@ def main(argv: list[str] | None = None) -> int:
         help="hash-partition each scheme across K independent kernels (1 = off)",
     )
     parser.add_argument(
+        "--fleet",
+        type=int,
+        default=1,
+        help="run each scheme as K divergent replicas holding complementary "
+        "index sets, with every search request cost-routed to the cheapest "
+        "healthy replica (1 = off; mutually exclusive with --partitions)",
+    )
+    parser.add_argument(
         "--batch-size",
         type=int,
         default=None,
@@ -264,6 +278,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.partitions < 1:
         parser.error(f"--partitions must be >= 1, got {args.partitions}")
+    if args.fleet < 1:
+        parser.error(f"--fleet must be >= 1, got {args.fleet}")
+    if args.fleet > 1 and args.partitions > 1:
+        parser.error("--fleet and --partitions are mutually exclusive")
     if args.promote_threshold is not None and not args.lazy_index:
         parser.error("--promote-threshold requires --lazy-index")
     if args.promote_threshold is not None and args.promote_threshold <= 0:
@@ -301,7 +319,55 @@ def main(argv: list[str] | None = None) -> int:
     snapshots: dict[str, RegistrySnapshot] = {}
     latencies: dict[str, LatencySnapshot] = {}
     monitors: dict[str, list[SloMonitor]] = {}
+    fleet_rows: dict[str, list[dict[str, object]]] = {}
     for scheme in schemes:
+        if args.fleet > 1:
+            # Same factory pattern as --partitions: every replica gets its
+            # own log/registry/tracker, merged deterministically after; the
+            # fleet-level log records routing and degrade decisions.
+            fleet_log = EventLog()
+            runs[scheme], engine = run_scheme_fleet(
+                scenario,
+                scheme,
+                args.ticks,
+                fleet=args.fleet,
+                training=training,
+                fleet_event_log=fleet_log,
+                event_log=EventLog,
+                faults=faults,
+                fault_seed=args.fault_seed,
+                degradation=degradation,
+                metrics=MetricsRegistry if want_metrics else None,
+                latency=(
+                    (lambda: LatencyTracker(threshold=slo_spec.threshold_ticks))
+                    if slo_spec is not None
+                    else None
+                ),
+                slo=(lambda: SloMonitor(slo_spec)) if slo_spec is not None else None,
+                scheduler=args.scheduler,
+                batch_size=args.batch_size,
+                index_backend=args.index_backend,
+                migration_budget=args.migration_budget,
+                lazy_index=args.lazy_index,
+                promote_threshold=args.promote_threshold,
+            )
+            merged_events = [event for _, event in engine.merged_events()]
+            merged_events.extend(fleet_log)
+            merged_events.sort(key=lambda e: e.tick)
+            events[scheme] = merged_events
+            fleet_rows[scheme] = engine.replica_rows()
+            if want_metrics:
+                snap = engine.merged_snapshot()
+                if snap is not None:
+                    snapshots[scheme] = snap
+            if slo_spec is not None:
+                merged = engine.merged_latency()
+                if merged is not None:
+                    latencies[scheme] = merged
+                monitors[scheme] = [
+                    ex.slo for ex in engine.executors if ex.slo is not None
+                ]
+            continue
         if args.partitions > 1:
             # Per-partition attachments go in as factories: every kernel
             # gets its own log/registry/tracker, merged deterministically after.
@@ -380,6 +446,13 @@ def main(argv: list[str] | None = None) -> int:
         for name, stats in runs.items()
     ]
     print(format_table(["scheme", "outputs", "died at", "migrations"], rows))
+    for name, replica_rows in fleet_rows.items():
+        print()
+        print(
+            format_fleet_table(
+                f"fleet routing ({name}, K={args.fleet})", replica_rows
+            )
+        )
     if faults is not None or any(events.values()):
         title = (
             f"\nfault timeline ({args.faults}, fault seed {args.fault_seed})"

@@ -1,0 +1,44 @@
+"""Divergent replica fleet: complementary index sets + cost-routed probes.
+
+The paper tunes one index configuration per state; its cost model,
+though, prices every (configuration, access pattern) pair — which
+generalises directly to a *fleet* of K replicas deliberately holding
+**different** configurations, with each search request routed to the
+replica cheapest for its probe plan (the divergent-design idea of RITA,
+applied to stream states; see PAPERS.md).
+
+- :class:`~repro.fleet.replica.Replica` — one engine kernel + state
+  store pinned to one IC assignment, with fleet-side bookkeeping.
+- :class:`~repro.fleet.router.ReplicaRouter` /
+  :func:`~repro.fleet.router.score_index` — per-request cost scoring of
+  every replica's live indexes, deterministic tie-breaks, health checks,
+  and degrade-to-broadcast.
+- :class:`~repro.fleet.engine.FleetEngine` — the lock-step driver:
+  arrivals replicate, probes route, outputs deduplicate, stats merge.
+- The complementary configuration *set* itself comes from
+  :class:`repro.core.FleetSelector` (greedy marginal-benefit under a
+  fleet-wide bit budget).
+"""
+
+from repro.fleet.engine import FleetAdmissionStage, FleetEngine
+from repro.fleet.replica import Replica
+from repro.fleet.router import (
+    FLEET_DEGRADE,
+    FLEET_RETUNE,
+    REPLICA_ROUTE,
+    ReplicaRouter,
+    RouteDecision,
+    score_index,
+)
+
+__all__ = [
+    "FLEET_DEGRADE",
+    "FLEET_RETUNE",
+    "REPLICA_ROUTE",
+    "FleetAdmissionStage",
+    "FleetEngine",
+    "Replica",
+    "ReplicaRouter",
+    "RouteDecision",
+    "score_index",
+]

@@ -1,0 +1,538 @@
+"""Lock-step execution of a divergent replica fleet.
+
+:class:`FleetEngine` drives K fully-wired engines through the same tick
+sequence: every tick's arrivals replicate to all replicas (each window
+sees the identical stream), while each arrival's *search request* is
+routed to the one replica whose index configuration is modeled cheapest
+for its probe plan (:class:`~repro.fleet.router.ReplicaRouter`).  Probes
+a replica does not win are pruned from its backlog by
+:class:`FleetAdmissionStage` immediately after admission — windows stay
+replicated, request work diverges.
+
+Determinism and equivalence are the design constraints, mirroring
+:class:`~repro.engine.kernel.PartitionedEngine`:
+
+- ``k == 1`` bypasses routing, admission splicing, and output wrapping
+  entirely: the single replica runs bit-for-bit the plain engine
+  (held against the golden-equivalence corpus).
+- Each join result is produced exactly once by its youngest member's
+  probe sequence, and that request runs on exactly one replica under
+  routing — so the union of replica outputs *is* the logical output set.
+  Degrade-to-broadcast re-executes a request on several replicas; the
+  fleet-level output sink deduplicates on source identity, so routed and
+  broadcast execution emit the same logical results (the differential
+  suite holds this per backend).
+- Merging reuses :func:`~repro.engine.kernel.merge_run_stats`; the fleet
+  overrides the summed ``outputs`` with the deduplicated logical count
+  and reports a death only when *every* replica has died (one dead
+  replica is a degraded fleet, not a dead one).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import WorkloadStatistics
+from repro.core.selector import FleetSelector
+from repro.engine.kernel.context import EngineContext, index_kind_label
+from repro.engine.kernel.partition import merge_event_timelines, merge_run_stats
+from repro.engine.kernel.stages import TickState
+from repro.engine.stats import RunStats
+from repro.engine.tracing import EngineEvent
+from repro.fleet.replica import Replica
+from repro.fleet.router import FLEET_DEGRADE, FLEET_RETUNE, REPLICA_ROUTE, ReplicaRouter
+from repro.storage.backends import capabilities_for
+from repro.utils.validation import check_positive
+
+
+class FleetAdmissionStage:
+    """Prune this tick's unrouted requests right after admission.
+
+    Spliced directly after the arrival stage (serial or batch — both
+    append admitted tuples to ``ctx.queue``).  Window maintenance has
+    already happened for every arrival by the time this stage runs; only
+    the *search-request* entry is dropped on replicas the router did not
+    pick, closing its lifecycle span as ``routed_elsewhere``.  Tuples the
+    fleet never saw (an injector's delayed or burst replays materialise
+    inside the arrival stage) are not in ``routable`` and stay queued on
+    the replica that created them.
+    """
+
+    name = "fleet_admission"
+
+    def __init__(self) -> None:
+        self.routable: set[int] = set()
+        self.accepted: set[int] = set()
+
+    def run(self, ctx: EngineContext, tick: TickState) -> None:
+        routable = self.routable
+        if not routable:
+            return
+        accepted = self.accepted
+        queue = ctx.queue
+        keep = [
+            item for item in queue if id(item) not in routable or id(item) in accepted
+        ]
+        if len(keep) == len(queue):
+            return
+        m = ctx.metrics
+        if m is not None:
+            for item in queue:
+                if id(item) in routable and id(item) not in accepted:
+                    span = ctx.live_spans.pop(id(item), None)
+                    if span is not None:
+                        m.end_span(span, tick.tick, status="routed_elsewhere")
+        queue.clear()
+        queue.extend(keep)
+
+
+class FleetEngine:
+    """K divergent replicas over replicated arrivals and routed probes.
+
+    Parameters
+    ----------
+    executor_factory:
+        ``replica_index -> engine`` building one fully-wired engine per
+        replica (own states, meter, attachments — nothing shared), each
+        pinned to its slot of the fleet's configuration set.
+    k:
+        Fleet size.  ``k == 1`` is the identity: no routing, no admission
+        stage, bit-for-bit the single engine.
+    stats_for:
+        ``stream -> WorkloadStatistics`` for the router's cost scoring
+        (volume + entropy; frequencies unused).  Required for ``k > 1``.
+    params:
+        Cost constants shared with the replicas' accountants.
+    max_backlog:
+        Health bar: a replica whose backlog exceeds this degrades its
+        traffic to broadcast until it drains.
+    mode:
+        ``"routed"`` (default) routes each request to the cheapest
+        healthy replica; ``"broadcast"`` executes every request on every
+        live replica (the differential-suite oracle — same logical
+        outputs, K× the work).
+    slot_offsets:
+        Optional ``stream -> offset`` rotating which replica holds which
+        slot of each stream's configuration set (replica ``i`` holds slot
+        ``(i + offset) % k``).  Fleet-wide per-state coverage is
+        identical under any rotation — the cost model takes the min over
+        the same set — but rotation stops one replica from holding the
+        best-single slot for *every* stream and therefore winning all
+        traffic.  The retune hook applies re-selected sets under the same
+        offsets.
+    selectors:
+        Optional ``stream -> FleetSelector`` enabling the retune hook:
+        every ``retune_interval`` ticks, the replicas' assessor
+        statistics are merged (request-weighted) and the fleet's
+        configuration set re-selected and applied in place, so divergence
+        tracks workload drift.
+    retune_interval:
+        Ticks between fleet retunes (used only with ``selectors``).
+    event_log / metrics:
+        Optional *fleet-level* attachments (separate from any per-replica
+        ones): ``replica_route`` / ``fleet_degrade`` / ``fleet_retune``
+        events, and ``fleet_*`` counters and gauges per replica.
+    """
+
+    def __init__(
+        self,
+        executor_factory,
+        k: int,
+        *,
+        stats_for: dict[str, WorkloadStatistics] | None = None,
+        params=None,
+        max_backlog: int = 4096,
+        mode: str = "routed",
+        slot_offsets: dict[str, int] | None = None,
+        selectors: dict[str, FleetSelector] | None = None,
+        retune_interval: int | None = None,
+        event_log=None,
+        metrics=None,
+    ) -> None:
+        check_positive("k", k)
+        if mode not in ("routed", "broadcast"):
+            raise ValueError(f"mode must be 'routed' or 'broadcast', got {mode!r}")
+        if k > 1 and stats_for is None:
+            raise ValueError("stats_for is required for a multi-replica fleet")
+        self.k = k
+        self.mode = mode
+        self.slot_offsets = dict(slot_offsets) if slot_offsets else {}
+        self.selectors = dict(selectors) if selectors else {}
+        self.retune_interval = retune_interval
+        self.event_log = event_log
+        self.metrics = metrics
+        self.replicas: list[Replica] = []
+        self.replica_stats: list[RunStats] = []
+        self._seen: set = set()
+        # Sources of every seen output stay referenced for the run: the
+        # dedup keys are built on object identity, and a freed tuple's
+        # address could otherwise be reused by a later arrival, colliding
+        # with a recorded key and silently dropping a legitimate result.
+        self._retained: list = []
+        self.logical_outputs = 0
+        self.duplicate_outputs = 0
+        self._plans: dict[str, tuple] = {}
+        for i in range(k):
+            executor = executor_factory(i)
+            admission = None
+            if k > 1:
+                admission = FleetAdmissionStage()
+                kernel = executor.kernel
+                stages = kernel.stages
+                kernel.stages = (stages[0], admission, *stages[1:])
+                self._wrap_sink(executor)
+            self.replicas.append(Replica(index=i, executor=executor, admission=admission))
+        self.executors = [r.executor for r in self.replicas]
+        self.router = ReplicaRouter(
+            self.replicas,
+            stats_for if stats_for is not None else {},
+            params,
+            max_backlog=max_backlog,
+        )
+
+    # ------------------------------------------------------------------ #
+    # output dedup
+
+    @staticmethod
+    def _output_key(joined) -> tuple:
+        """Canonical identity of one join result: its source tuples.
+
+        Source *identity*, not source values: the fleet feeds every
+        replica the same arrival objects, so ``id`` is consistent across
+        replicas — while two same-tick tuples with equal values are
+        distinct join partners and must not collapse.
+        """
+        return tuple(sorted((src.stream, id(src)) for src in joined.sources))
+
+    def _wrap_sink(self, executor) -> None:
+        inner = executor.output_sink
+
+        def sink(partials):
+            fresh = []
+            for joined in partials:
+                key = self._output_key(joined)
+                if key in self._seen:
+                    self.duplicate_outputs += 1
+                    continue
+                self._seen.add(key)
+                self._retained.append(joined.sources)
+                self.logical_outputs += 1
+                fresh.append(joined)
+            if fresh and inner is not None:
+                inner(fresh)
+
+        executor.output_sink = sink
+
+    # ------------------------------------------------------------------ #
+    # routing
+
+    def _plan(self, stream: str) -> tuple:
+        """The stream's canonical probe plan: ``((target, ap), ...)``.
+
+        The scoring model, not a route commitment: hops visit the other
+        streams in sorted order, and each hop's access pattern is what
+        the query presents given everything joined so far.  The engine's
+        own router still picks the live route; the canonical plan is the
+        deterministic stand-in the fleet scores replicas against.
+        """
+        plan = self._plans.get(stream)
+        if plan is None:
+            query = self.executors[0].query
+            joined = {stream}
+            hops = []
+            for target in sorted(n for n in query.stream_names if n != stream):
+                ap, _ = query.probe_spec(joined, target)
+                hops.append((target, ap))
+                joined.add(target)
+            plan = tuple(hops)
+            self._plans[stream] = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # the lock-step loop
+
+    def run(self, duration: int, arrivals_factory) -> RunStats:
+        """Run the fleet for ``duration`` ticks and merge the stats.
+
+        ``arrivals_factory`` is a zero-argument callable returning a
+        fresh ``tick -> list[StreamTuple]`` source (the partition-engine
+        convention).  With ``k == 1`` the factory is called once and the
+        single replica runs unmodified.  With ``k > 1`` one shared source
+        feeds every replica the identical arrival objects, all replicas
+        advance tick-by-tick together (the router reads same-tick
+        backlogs), and dead replicas drop out of routing.
+        """
+        check_positive("duration", duration)
+        if self.k == 1:
+            replica = self.replicas[0]
+            stats = replica.executor.run(duration, arrivals_factory())
+            replica.stats = stats
+            replica.routed = stats.probes
+            self.replica_stats = [stats]
+            self.logical_outputs = stats.outputs
+            return stats
+        arrivals = arrivals_factory()
+        for t in range(duration):
+            if not any(r.alive for r in self.replicas):
+                break
+            incoming = arrivals(t)
+            routable = {id(item) for item in incoming}
+            accepted: dict[int, set[int]] = {r.index: set() for r in self.replicas}
+            tick_routed = {r.index: 0 for r in self.replicas}
+            tick_broadcasts = 0
+            decisions: dict[str, object] = {}
+            for item in incoming:
+                decision = decisions.get(item.stream)
+                if decision is None:
+                    if self.mode == "broadcast":
+                        targets = tuple(r.index for r in self.replicas if r.alive)
+                        decision = _BROADCAST_ALL(targets)
+                    else:
+                        decision = self.router.route(self._plan(item.stream), t)
+                    decisions[item.stream] = decision
+                if not decision.targets:
+                    continue
+                for idx in decision.targets:
+                    accepted[idx].add(id(item))
+                if decision.broadcast:
+                    tick_broadcasts += 1
+                    for idx in decision.targets:
+                        self.replicas[idx].broadcasts += 1
+                else:
+                    winner = decision.targets[0]
+                    self.replicas[winner].routed += 1
+                    self.replicas[winner].modeled_cost += decision.cost
+                    tick_routed[winner] += 1
+            for replica in self.replicas:
+                if not replica.alive:
+                    continue
+                replica.admission.routable = routable
+                replica.admission.accepted = accepted[replica.index]
+                tick = replica.executor.kernel.step(t, duration, list(incoming))
+                replica.last_tick = t
+                if tick.died:
+                    replica.alive = False
+                    if self.event_log is not None:
+                        self.event_log.record(
+                            t,
+                            FLEET_DEGRADE,
+                            None,
+                            replica=replica.index,
+                            reason="death",
+                        )
+            self._record_tick(t, tick_routed, tick_broadcasts)
+            if (
+                self.selectors
+                and self.retune_interval is not None
+                and t > 0
+                and t % self.retune_interval == 0
+            ):
+                self._retune(t)
+        self.replica_stats = []
+        for replica in self.replicas:
+            stats = replica.executor.kernel.finish(replica.last_tick)
+            replica.stats = stats
+            self.replica_stats.append(stats)
+        merged = merge_run_stats(self.replica_stats)
+        merged.outputs = self.logical_outputs
+        if all(r.died for r in self.replicas):
+            died_at, index, reason = max(
+                (s.died_at, i, s.death_reason)
+                for i, s in enumerate(self.replica_stats)
+            )
+            merged.died_at = died_at
+            merged.death_reason = f"replica {index}: {reason}"
+        else:
+            merged.died_at = None
+            merged.death_reason = None
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # telemetry / retuning
+
+    def _record_tick(self, t: int, tick_routed: dict[int, int], broadcasts: int) -> None:
+        m = self.metrics
+        if m is not None:
+            for replica in self.replicas:
+                label = str(replica.index)
+                n = tick_routed[replica.index]
+                if n:
+                    m.counter(
+                        "fleet_routed_total",
+                        "requests won by replica",
+                        replica=label,
+                    ).inc(n)
+                m.gauge(
+                    "fleet_backlog",
+                    "queued search requests per replica",
+                    replica=label,
+                ).set(replica.backlog)
+                m.gauge(
+                    "fleet_modeled_cost_units",
+                    "summed modeled cost of requests won",
+                    replica=label,
+                ).set(round(replica.modeled_cost, 3))
+            if broadcasts:
+                m.counter(
+                    "fleet_broadcasts_total", "requests degraded to broadcast"
+                ).inc(broadcasts)
+        log = self.event_log
+        if log is not None and (broadcasts or any(tick_routed.values())):
+            detail = {f"r{i}": n for i, n in tick_routed.items() if n}
+            log.record(t, REPLICA_ROUTE, None, broadcasts=broadcasts, **detail)
+
+    def _retune(self, tick: int) -> None:
+        """Re-select the fleet's configuration set from live statistics.
+
+        Per stream: merge every alive replica's assessor frequencies
+        (weighted by its request count — replicas that served more
+        traffic know the mix better), re-run the stream's
+        :class:`~repro.core.selector.FleetSelector`, and apply each
+        slot's configuration to its replica in place.  Reconfiguration
+        changes only the index *structure*, never window contents, so
+        outputs are invariant under retuning; the migration cost is
+        charged to each replica's clock like any tuner migration.
+        """
+        for stream, selector in self.selectors.items():
+            merged: dict = {}
+            weight = 0.0
+            for replica in self.replicas:
+                if not replica.alive:
+                    continue
+                assessor = getattr(replica.stems[stream].tuner, "assessor", None)
+                if assessor is None or assessor.n_requests <= 0:
+                    continue
+                n = float(assessor.n_requests)
+                for ap, f in assessor.frequencies().items():
+                    merged[ap] = merged.get(ap, 0.0) + f * n
+                weight += n
+            if not merged or weight <= 0.0:
+                continue
+            base = self.router.stats_for[stream]
+            stats = WorkloadStatistics(
+                lambda_d=base.lambda_d,
+                lambda_r=base.lambda_r,
+                window=base.window,
+                frequencies={ap: v / weight for ap, v in merged.items()},
+                domain_bits=base.domain_bits,
+            )
+            selection = selector.select(stats)
+            changed = []
+            for replica in self.replicas:
+                if not replica.alive:
+                    continue
+                stem = replica.stems[stream]
+                index = stem.index
+                slot = (replica.index + self.slot_offsets.get(stream, 0)) % len(
+                    selection
+                )
+                target = selection[slot]
+                if not capabilities_for(index).reconfigurable:
+                    continue
+                if getattr(index, "config", None) == target:
+                    continue
+                ctx = replica.executor.context
+                before = ctx.stem_cost(stem)
+                index.reconfigure(target)
+                delta = ctx.stem_cost(stem) - before
+                ctx.stats.migrations += 1
+                if delta:
+                    ctx.spend(
+                        delta,
+                        "tuner",
+                        stream=stream,
+                        index_kind=index_kind_label(index),
+                        phase="migration",
+                    )
+                changed.append(replica.index)
+            for replica in self.replicas:
+                if not replica.alive:
+                    continue
+                assessor = getattr(replica.stems[stream].tuner, "assessor", None)
+                if assessor is not None:
+                    assessor.reset()
+            if changed and self.event_log is not None:
+                self.event_log.record(
+                    tick, FLEET_RETUNE, stream, replicas=tuple(changed)
+                )
+
+    # ------------------------------------------------------------------ #
+    # merged views (the partition-engine conventions)
+
+    def merged_snapshot(self):
+        """Merged metrics snapshot across replicas with registries.
+
+        Returns ``None`` when no replica has a metrics registry attached
+        (the fleet-level registry is separate and not merged here).
+        """
+        from repro.engine.metrics import merge_snapshots
+
+        snapshots = [
+            executor.metrics.snapshot()
+            for executor in self.executors
+            if getattr(executor, "metrics", None) is not None
+        ]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
+
+    def merged_latency(self):
+        """Merged latency snapshot across replicas with trackers, or None."""
+        from repro.engine.slo import merge_latency_snapshots
+
+        snapshots = [
+            executor.latency.snapshot()
+            for executor in self.executors
+            if getattr(executor, "latency", None) is not None
+        ]
+        if not snapshots:
+            return None
+        return merge_latency_snapshots(snapshots)
+
+    def merged_events(self) -> list[tuple[int, EngineEvent]]:
+        """Merged ``(replica, event)`` timeline across attached logs."""
+        timelines = []
+        for executor in self.executors:
+            log = getattr(executor, "event_log", None)
+            timelines.append(list(log) if log is not None else [])
+        return merge_event_timelines(timelines)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+
+    def routing_shares(self) -> dict[int, float]:
+        """Fraction of outright-won requests per replica (0.0 when none)."""
+        total = sum(r.routed for r in self.replicas)
+        if total == 0:
+            return {r.index: 0.0 for r in self.replicas}
+        return {r.index: r.routed / total for r in self.replicas}
+
+    def replica_rows(self) -> list[dict[str, object]]:
+        """Per-replica summary rows for the ``repro fleet`` table."""
+        shares = self.routing_shares()
+        rows = []
+        for replica in self.replicas:
+            rows.append(
+                {
+                    "replica": replica.index,
+                    "configs": replica.describe_configs(),
+                    "routed": replica.routed,
+                    "share": shares[replica.index],
+                    "broadcasts": replica.broadcasts,
+                    "modeled_cost": round(replica.modeled_cost, 1),
+                    "backlog": replica.backlog,
+                    "alive": replica.alive,
+                    "outputs": replica.stats.outputs if replica.stats else 0,
+                }
+            )
+        return rows
+
+
+class _BROADCAST_ALL:
+    """A synthetic all-replicas decision for broadcast mode."""
+
+    __slots__ = ("targets",)
+    broadcast = True
+    cost = 0.0
+    reason = "mode"
+
+    def __init__(self, targets: tuple[int, ...]) -> None:
+        self.targets = targets

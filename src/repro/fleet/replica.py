@@ -1,0 +1,67 @@
+"""One member of a divergent replica fleet.
+
+A :class:`Replica` is a fully-wired engine (kernel + states) pinned to one
+index-configuration assignment, plus the fleet-side bookkeeping the router
+and the merge layer read: how many requests it won, how many broadcasts it
+absorbed, whether it is still alive, and the last tick it executed (dead
+replicas stop stepping, so their end-of-run cleanup uses their own clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Replica:
+    """An engine kernel + state store pinned to one IC assignment."""
+
+    index: int
+    executor: object  # AMRExecutor (kept loose: the fleet drives the kernel)
+    admission: object | None = None  # FleetAdmissionStage, None for K=1
+    routed: int = 0  # requests this replica won outright
+    broadcasts: int = 0  # requests it absorbed via degrade-to-broadcast
+    modeled_cost: float = 0.0  # summed modeled cost of won requests
+    last_tick: int = 0
+    alive: bool = True
+    stats: object | None = field(default=None, repr=False)  # RunStats post-finish
+
+    @property
+    def stems(self):
+        """The replica's per-stream states (what the router scores)."""
+        return self.executor.stems
+
+    @property
+    def backlog(self) -> int:
+        """Queued-but-unprocessed search requests on this replica."""
+        return self.executor.backlog
+
+    @property
+    def died(self) -> bool:
+        """True once the replica's run recorded an out-of-memory death."""
+        return self.executor.stats.died_at is not None
+
+    def healthy(self, tick: int, max_backlog: int) -> bool:
+        """Route-eligible: alive, under the backlog bar, and not squeezed.
+
+        An injected memory squeeze (the fault injector shrinking the
+        effective budget this tick) marks the replica unhealthy *before*
+        it sheds or dies, which is what lets the router degrade its
+        traffic to broadcast while the squeeze lasts.
+        """
+        if not self.alive or self.died:
+            return False
+        if self.backlog > max_backlog:
+            return False
+        injector = self.executor.fault_injector
+        if injector is not None:
+            probe = 1 << 30
+            if injector.memory_budget(tick, probe) < probe:
+                return False
+        return True
+
+    def describe_configs(self) -> dict[str, str]:
+        """``stream -> one-line index description`` for the fleet table."""
+        return {
+            name: stem.index.describe() for name, stem in self.executor.stems.items()
+        }

@@ -1,0 +1,169 @@
+"""Cost-routed probe dispatch across a divergent replica fleet.
+
+Every replica holds the *same* windows (arrivals replicate) under a
+*different* index configuration, so the same search request costs a
+different amount on each replica.  :class:`ReplicaRouter` scores a
+request's probe plan — the access pattern it presents at every hop of its
+canonical route — against each replica's live indexes with the paper's
+cost model, and routes the request to the cheapest healthy replica.
+
+Scoring is backend-generic: :func:`score_index` maps any registered
+:class:`~repro.indexes.base.StateIndex` onto the Eq. 1 search bracket —
+bit-address configurations score exactly
+(:func:`~repro.core.cost_model.pattern_search_cost`), multi-hash module
+sets score by their most suitable module (mirroring
+:func:`~repro.core.cost_model.hash_scheme_cd`), unindexed states score a
+full scan, and anything else falls back to a per-attribute entropy
+estimate.  It never raises: a pattern no replica indexes well simply
+scores every replica at (or near) scan cost and the deterministic
+tie-break — ``(cost, backlog, replica index)`` — still picks one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.core.access_pattern import AccessPattern
+from repro.core.cost_model import WorkloadStatistics, pattern_search_cost
+from repro.core.index_config import IndexConfiguration
+from repro.engine.tracing import register_event_kind
+from repro.indexes.base import CostParams
+from repro.storage.backends import capabilities_for
+
+#: Event kinds the fleet layer records (registered at import time).
+REPLICA_ROUTE = register_event_kind("replica_route")
+FLEET_DEGRADE = register_event_kind("fleet_degrade")
+FLEET_RETUNE = register_event_kind("fleet_retune")
+
+
+def score_index(
+    index: object,
+    ap: AccessPattern,
+    stats: WorkloadStatistics,
+    params: CostParams | None = None,
+) -> float:
+    """Estimated per-request search cost of ``ap`` against one live index.
+
+    Total function over every backend the registry can build — the router
+    must rank replicas for *any* pattern, including ones nobody indexes
+    well, so unknown shapes degrade to a full-scan estimate rather than
+    raising.
+    """
+    if params is None:
+        params = CostParams()
+    stored = stats.stored_tuples
+    scan_cost = max(stored, 1.0) * params.c_compare
+    if ap.is_full_scan:
+        return scan_cost
+    config = getattr(index, "config", None)
+    if isinstance(config, IndexConfiguration):
+        return pattern_search_cost(config, ap, stats, params)
+    if capabilities_for(index).unindexed:
+        return scan_cost
+    patterns = getattr(index, "patterns", None)
+    if patterns is not None:
+        # Multi-hash module set: the most suitable module answers (the
+        # hash_scheme_cd search term); no suitable module means a scan.
+        suitable = [
+            p for p in patterns if p.mask & ap.mask == p.mask and not p.is_full_scan
+        ]
+        if not suitable:
+            return scan_cost
+        best = max(suitable, key=lambda p: (p.n_attributes, -p.mask))
+        entropy = sum(min(stats.domain_bits.get(a, 63), 63) for a in best.attributes)
+        candidates = stored / float(2 ** min(entropy, 63))
+        return best.n_attributes * params.c_hash + max(candidates, 1.0) * params.c_compare
+    # Exact per-attribute structures (inverted lists): one lookup on the
+    # pattern's most selective attribute, then residual comparisons.
+    best_entropy = max(
+        (min(stats.domain_bits.get(a, 63), 63) for a in ap.attributes),
+        default=0,
+    )
+    candidates = stored / float(2 ** min(best_entropy, 63))
+    return params.c_hash + max(candidates, 1.0) * params.c_compare
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where one request goes and why."""
+
+    targets: tuple[int, ...]  # replica indices that accept the request
+    cost: float  # modeled cost on the chosen replica (first target)
+    broadcast: bool = False  # True when degraded to broadcast
+    reason: str = ""  # non-empty only for broadcasts
+
+
+class ReplicaRouter:
+    """Score probe plans against every replica; route to the cheapest.
+
+    Parameters
+    ----------
+    replicas:
+        The fleet's :class:`~repro.fleet.replica.Replica` records, in
+        index order.
+    stats_for:
+        ``stream -> WorkloadStatistics`` describing each state's volume
+        (``stored_tuples``) and value entropy (``domain_bits``) — the two
+        quantities :func:`score_index` reads.  Frequencies are unused.
+    params:
+        Cost constants; defaults to :class:`~repro.indexes.base.CostParams`.
+    max_backlog:
+        A replica whose backlog exceeds this is unhealthy (squeezed), and
+        requests it would have won degrade to broadcast.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence,
+        stats_for: Mapping[str, WorkloadStatistics],
+        params: CostParams | None = None,
+        *,
+        max_backlog: int = 4096,
+    ) -> None:
+        self.replicas = list(replicas)
+        self.stats_for = dict(stats_for)
+        self.params = params if params is not None else CostParams()
+        self.max_backlog = max_backlog
+
+    def plan_cost(self, replica, plan: Sequence[tuple[str, AccessPattern]]) -> float:
+        """Modeled cost of one probe plan on one replica's live indexes."""
+        stems = replica.stems
+        total = 0.0
+        for target, ap in plan:
+            total += score_index(
+                stems[target].index, ap, self.stats_for[target], self.params
+            )
+        return total
+
+    def route(
+        self, plan: Sequence[tuple[str, AccessPattern]], tick: int
+    ) -> RouteDecision:
+        """Pick the replica(s) that serve one request this tick.
+
+        Deterministic: replicas are ranked by ``(modeled cost, backlog,
+        replica index)``.  When the winner is unhealthy — over the backlog
+        bar or under an injected memory squeeze — the request degrades to
+        broadcast across every healthy replica (or every live one, if the
+        whole fleet is squeezed), so results keep flowing while the hot
+        replica drains.
+        """
+        alive = [r for r in self.replicas if r.alive]
+        if not alive:
+            return RouteDecision(targets=(), cost=0.0, broadcast=True, reason="dead")
+        ranked = sorted(
+            alive, key=lambda r: (self.plan_cost(r, plan), r.backlog, r.index)
+        )
+        winner = ranked[0]
+        cost = self.plan_cost(winner, plan)
+        if winner.healthy(tick, self.max_backlog):
+            return RouteDecision(targets=(winner.index,), cost=cost)
+        healthy = [r for r in alive if r.healthy(tick, self.max_backlog)]
+        pool = healthy if healthy else alive
+        reason = "squeezed" if healthy else "all_squeezed"
+        return RouteDecision(
+            targets=tuple(r.index for r in pool),
+            cost=cost,
+            broadcast=True,
+            reason=reason,
+        )

@@ -165,3 +165,81 @@ class TestHashPatternSelection:
     def test_rejects_bad_k(self, jas3, ap3):
         with pytest.raises(ValueError):
             select_hash_patterns({ap3("A"): 1.0}, 0)
+
+
+class TestFleetSelection:
+    """select_fleet / FleetSelector: the divergent configuration set."""
+
+    def multi_pattern_stats(self, ap3):
+        # Four equally frequent patterns an 8-bit budget cannot serve from
+        # one key map — the regime where divergence pays.
+        return make_stats(
+            {ap3("A"): 0.25, ap3("B"): 0.25, ap3("C"): 0.25, ap3("A", "B", "C"): 0.25},
+            lambda_d=200.0,
+            lambda_r=2000.0,
+            window=50.0,
+            domain_bits={"A": 8, "B": 8, "C": 8},
+        )
+
+    def test_k1_reduces_to_select_exhaustive(self, jas3, table2_frequencies):
+        from repro.core.selector import select_fleet
+
+        stats = make_stats(table2_frequencies, domain_bits={"A": 6, "B": 6, "C": 6})
+        (only,) = select_fleet(stats, jas3, 8, 1)
+        assert only == select_exhaustive(stats, jas3, 8)
+
+    def test_deterministic(self, jas3, ap3):
+        from repro.core.selector import select_fleet
+
+        stats = self.multi_pattern_stats(ap3)
+        first = select_fleet(stats, jas3, 8, 3)
+        assert all(select_fleet(stats, jas3, 8, 3) == first for _ in range(3))
+
+    def test_divergent_set_never_costs_more_than_k_copies_of_best(
+        self, jas3, ap3
+    ):
+        from repro.core.selector import fleet_cost, select_fleet
+
+        stats = self.multi_pattern_stats(ap3)
+        fleet = select_fleet(stats, jas3, 8, 3)
+        best = select_exhaustive(stats, jas3, 8)
+        assert fleet_cost(list(fleet), stats) <= fleet_cost([best] * 3, stats)
+        # and on this multi-pattern workload it is strictly better:
+        assert fleet_cost(list(fleet), stats) < fleet_cost([best] * 3, stats)
+
+    def test_per_replica_and_fleet_budgets_respected(self, jas3, ap3):
+        from repro.core.selector import select_fleet
+
+        stats = self.multi_pattern_stats(ap3)
+        fleet = select_fleet(stats, jas3, 8, 3, fleet_bit_budget=12)
+        assert all(cfg.total_bits <= 8 for cfg in fleet)
+        assert sum(cfg.total_bits for cfg in fleet) <= 12
+
+    def test_selector_class_matches_free_function(self, jas3, ap3):
+        from repro.core.selector import FleetSelector, select_fleet
+
+        stats = self.multi_pattern_stats(ap3)
+        selector = FleetSelector(jas3, 8, 3)
+        assert selector.select(stats) == select_fleet(stats, jas3, 8, 3)
+
+    def test_rejects_bad_k(self, jas3, ap3):
+        from repro.core.selector import FleetSelector, select_fleet
+
+        stats = self.multi_pattern_stats(ap3)
+        with pytest.raises(ValueError):
+            select_fleet(stats, jas3, 8, 0)
+        with pytest.raises(ValueError):
+            FleetSelector(jas3, 8, 0)
+
+    def test_narrow_workload_repeats_the_best_configuration(self, jas3, ap3):
+        from repro.core.selector import select_fleet
+
+        stats = make_stats({ap3("A"): 1.0}, domain_bits={"A": 4})
+        fleet = select_fleet(stats, jas3, 8, 3)
+        # One hot pattern: slot 0 carries the single best key map, and the
+        # extra replicas deterministically take the cheapest (zero-bit)
+        # configuration — adding maintenance with no search gain loses to
+        # adding nothing.
+        assert fleet[0] == select_exhaustive(stats, jas3, 8)
+        assert fleet[1] == fleet[2]
+        assert fleet[1].total_bits == 0

@@ -127,6 +127,72 @@ class TestEngineFlags:
         assert "scan" in capsys.readouterr().out
 
 
+class TestFleetFlags:
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_fleet_must_be_positive(self, value, capsys):
+        rc = main_mod.main(["run", "--fleet", value])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert f"--fleet must be >= 1, got {value}" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("value", ["2.5", "three"])
+    def test_fleet_must_be_an_integer(self, value, capsys):
+        rc = main_mod.main(["run", "--fleet", value])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "usage" in captured.err.lower()
+        assert "Traceback" not in captured.err
+
+    def test_fleet_and_partitions_are_mutually_exclusive(self, capsys):
+        rc = main_mod.main(["run", "--fleet", "2", "--partitions", "2"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "mutually exclusive" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_fleet_run_prints_the_replica_table(self, capsys):
+        rc = run_cli.main(
+            ["--schemes", "scan", "--ticks", "10", "--no-train", "--fleet", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet routing (scan, K=2)" in out
+        assert "share" in out
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_fleet_subcommand_fleet_must_be_positive(self, value, capsys):
+        rc = main_mod.main(["fleet", "--fleet", value])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert f"--fleet must be >= 1, got {value}" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_fleet_subcommand_fault_replica_must_be_in_range(self, capsys):
+        rc = main_mod.main(["fleet", "--fleet", "2", "--fault-replica", "5"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--fault-replica must be in [0, 2)" in captured.err
+
+    def test_fleet_subcommand_succeeds(self, capsys):
+        rc = main_mod.main(
+            [
+                "fleet",
+                "--scheme",
+                "scan",
+                "--fleet",
+                "2",
+                "--ticks",
+                "10",
+                "--no-train",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-replica fleet report" in out
+        assert "fleet event timeline" in out
+
+
 class TestSloFlags:
     @pytest.mark.parametrize("bad", ["p95<8@120", "nonsense", "p0<=8@120"])
     def test_bad_slo_spec_exits_2(self, bad, capsys):

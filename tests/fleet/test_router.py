@@ -1,0 +1,185 @@
+"""Router unit tests: total cost scoring, deterministic ranking, degrade.
+
+``score_index`` must be a *total* function — the router ranks replicas for
+any access pattern against any registered backend, including patterns
+nobody indexes well — and ``ReplicaRouter.route`` must be deterministic
+(same fleet state, same decision) with explicit degrade-to-broadcast
+semantics when the modeled winner is unhealthy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.cost_model import WorkloadStatistics
+from repro.fleet import Replica, ReplicaRouter, RouteDecision, score_index
+from repro.indexes.base import CostParams
+from repro.storage import BACKENDS
+from repro.storage.backends import IndexBuildSpec
+
+JAS = JoinAttributeSet(["A", "B", "C"])
+
+
+def make_stats(**kw) -> WorkloadStatistics:
+    defaults = dict(
+        lambda_d=10.0,
+        lambda_r=5.0,
+        window=4.0,
+        frequencies={},
+        domain_bits={"A": 6, "B": 6, "C": 6},
+    )
+    defaults.update(kw)
+    return WorkloadStatistics(**defaults)
+
+
+def all_patterns():
+    return [AccessPattern.from_mask(JAS, m) for m in range(1, JAS.full_mask + 1)]
+
+
+def build_backend(name: str):
+    """One populated index instance of a registered backend."""
+    spec = IndexBuildSpec(
+        JAS,
+        bit_budget=8,
+        patterns=(AccessPattern.from_attributes(JAS, ["A"]),),
+    )
+    idx = BACKENDS.build(name, spec)
+    for i in range(25):
+        idx.insert({"A": i % 5, "B": (i * 3) % 7, "C": i % 2})
+    return idx
+
+
+class TestScoreIndex:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS.names()))
+    def test_total_and_deterministic_over_every_backend(self, backend):
+        """Every backend × every pattern: finite, positive, repeatable —
+        including patterns the index serves badly or not at all."""
+        idx = build_backend(backend)
+        stats = make_stats()
+        for ap in all_patterns():
+            first = score_index(idx, ap, stats)
+            assert math.isfinite(first) and first > 0.0, (backend, ap)
+            assert score_index(idx, ap, stats) == first
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS.names()))
+    def test_full_scan_pattern_scores_scan_cost(self, backend):
+        idx = build_backend(backend)
+        stats = make_stats()
+        params = CostParams()
+        scan = AccessPattern.from_attributes(JAS, [])
+        expected = max(stats.stored_tuples, 1.0) * params.c_compare
+        assert score_index(idx, scan, stats, params) == expected
+
+    def test_unindexed_backend_scores_scan_for_every_pattern(self):
+        idx = build_backend("scan")
+        stats = make_stats()
+        params = CostParams()
+        scan_cost = max(stats.stored_tuples, 1.0) * params.c_compare
+        for ap in all_patterns():
+            assert score_index(idx, ap, stats, params) == scan_cost
+
+    def test_poorly_indexed_pattern_scores_no_better_than_suited_one(self):
+        """A hash module set probed with a pattern none of its modules
+        covers falls back to scan cost — never an error, never a bargain."""
+        from repro.indexes.hash_index import MultiHashIndex
+
+        idx = MultiHashIndex(JAS, [AccessPattern.from_attributes(JAS, ["A", "B"])])
+        for i in range(25):
+            idx.insert({"A": i % 5, "B": (i * 3) % 7, "C": i % 2})
+        stats = make_stats()
+        params = CostParams()
+        scan_cost = max(stats.stored_tuples, 1.0) * params.c_compare
+        uncovered = AccessPattern.from_attributes(JAS, ["C"])
+        covered = AccessPattern.from_attributes(JAS, ["A", "B"])
+        assert score_index(idx, uncovered, stats, params) == scan_cost
+        assert score_index(idx, covered, stats, params) < scan_cost
+
+    def test_empty_domain_bits_does_not_raise(self):
+        """Unknown value entropy (no domain_bits) stays total: attributes
+        absent from the mapping are treated as unbounded."""
+        idx = build_backend("inverted")
+        stats = make_stats(domain_bits={})
+        for ap in all_patterns():
+            assert math.isfinite(score_index(idx, ap, stats))
+
+
+class _FakeExecutor:
+    """Just enough engine surface for Replica/ReplicaRouter unit tests."""
+
+    def __init__(self, stems, backlog=0):
+        self.stems = stems
+        self.backlog = backlog
+        self.fault_injector = None
+        self.stats = type("S", (), {"died_at": None})()
+
+
+class _FakeStem:
+    def __init__(self, index):
+        self.index = index
+
+
+def make_replica(i, backend="scan", backlog=0):
+    stems = {"A": _FakeStem(build_backend(backend))}
+    return Replica(index=i, executor=_FakeExecutor(stems, backlog=backlog))
+
+
+class TestReplicaRouter:
+    def plan(self):
+        return (("A", AccessPattern.from_attributes(JAS, ["A"])),)
+
+    def router(self, replicas, max_backlog=10):
+        return ReplicaRouter(
+            replicas, {"A": make_stats()}, max_backlog=max_backlog
+        )
+
+    def test_equal_costs_tie_break_on_backlog_then_index(self):
+        a, b, c = (make_replica(i) for i in range(3))
+        router = self.router([a, b, c])
+        assert router.route(self.plan(), 0) == RouteDecision(
+            targets=(0,), cost=router.plan_cost(a, self.plan())
+        )
+        a.executor.backlog = 5  # same cost, fuller queue: next index wins
+        assert router.route(self.plan(), 0).targets == (1,)
+
+    def test_route_is_deterministic(self):
+        replicas = [make_replica(i) for i in range(3)]
+        router = self.router(replicas)
+        first = router.route(self.plan(), 3)
+        assert all(router.route(self.plan(), 3) == first for _ in range(5))
+
+    def test_squeezed_winner_degrades_to_healthy_broadcast(self):
+        # Replica 0 is modeled-cheapest (indexed vs scans) but over the
+        # backlog bar: it still wins the ranking on cost, and health then
+        # degrades its traffic to a broadcast across the healthy rest.
+        a = make_replica(0, backend="inverted", backlog=99)
+        b, c = make_replica(1), make_replica(2)
+        router = self.router([a, b, c])
+        decision = router.route(self.plan(), 0)
+        assert decision.broadcast
+        assert decision.reason == "squeezed"
+        assert decision.targets == (1, 2)
+
+    def test_all_squeezed_broadcasts_to_all_alive(self):
+        replicas = [make_replica(i, backlog=99) for i in range(2)]
+        decision = self.router(replicas).route(self.plan(), 0)
+        assert decision.broadcast
+        assert decision.reason == "all_squeezed"
+        assert decision.targets == (0, 1)
+
+    def test_dead_fleet_routes_nowhere(self):
+        replicas = [make_replica(i) for i in range(2)]
+        for r in replicas:
+            r.alive = False
+        decision = self.router(replicas).route(self.plan(), 0)
+        assert decision.targets == ()
+        assert decision.reason == "dead"
+
+    def test_cheaper_index_wins_over_lower_index(self):
+        slow = make_replica(0, backend="scan")
+        fast = make_replica(1, backend="inverted")
+        decision = self.router([slow, fast]).route(self.plan(), 0)
+        assert decision.targets == (1,)
+        assert not decision.broadcast

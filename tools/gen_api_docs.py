@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.indexes",
     "repro.storage",
     "repro.engine",
+    "repro.fleet",
     "repro.workloads",
     "repro.experiments",
     "repro.utils",
