@@ -35,11 +35,11 @@ def bench_training(bench_scenario) -> TrainingResult:
     return train_initial_state(bench_scenario, train_ticks=BENCH_TRAIN_TICKS)
 
 
-def run_once(benchmark, fn):
+def run_once(benchmark, fn, *args):
     """Run an experiment exactly once under pytest-benchmark timing.
 
     Figure regenerations are deterministic experiment runs, not
     micro-kernels; re-running them for statistical rounds would only
     waste suite time.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -127,6 +127,15 @@ class AMRExecutor:
         vectorized batch data plane
         (:func:`~repro.engine.kernel.batched_stages`), which is
         bit-identical to serial at every size — only wall-clock changes.
+    probe_workers:
+        Worker threads for the intra-partition parallel probe plane
+        (:func:`~repro.engine.kernel.parallel_stages`).  ``None`` (the
+        default) keeps whichever serial/batch pipeline ``batch_size``
+        selects; an integer ``>= 1`` fans batched probe columns out to a
+        persistent pool over epoch-tagged read-only index snapshots,
+        merged deterministically — bit-identical to serial (``crack_*``
+        telemetry excepted under lazy admission).  Composes with
+        ``batch_size``.
     stages:
         A custom stage pipeline replacing
         :func:`~repro.engine.kernel.default_stages` (``scheduler`` and
@@ -154,6 +163,7 @@ class AMRExecutor:
         slo=None,
         scheduler: Scheduler | str | None = None,
         batch_size: int | None = None,
+        probe_workers: int | None = None,
         stages: Sequence[Stage] | None = None,
     ) -> None:
         self._ctx = EngineContext(
@@ -175,6 +185,13 @@ class AMRExecutor:
         )
         if stages is not None:
             pipeline = stages
+        elif probe_workers is not None:
+            check_positive("probe_workers", probe_workers)
+            if batch_size is not None:
+                check_positive("batch_size", batch_size)
+            from repro.engine.kernel.parallel_probe import parallel_stages
+
+            pipeline = parallel_stages(scheduler, batch_size, probe_workers)
         elif batch_size is not None:
             check_positive("batch_size", batch_size)
             from repro.engine.kernel.batch import batched_stages

@@ -37,6 +37,11 @@ from repro.engine.kernel.batch import (
 )
 from repro.engine.kernel.context import EngineContext
 from repro.engine.kernel.kernel import EngineKernel, default_stages
+from repro.engine.kernel.parallel_probe import (
+    DEFAULT_PROBE_WORKERS,
+    ParallelProbeStage,
+    parallel_stages,
+)
 from repro.engine.kernel.partition import (
     PartitionedEngine,
     default_partitioner,
@@ -73,12 +78,14 @@ __all__ = [
     "BatchExpiryStage",
     "BatchRouteProbeStage",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_PROBE_WORKERS",
     "EngineContext",
     "EngineKernel",
     "ExpiryStage",
     "FaultStage",
     "FifoScheduler",
     "MigrationStage",
+    "ParallelProbeStage",
     "PartitionedEngine",
     "RouteProbeStage",
     "SCHEDULERS",
@@ -95,6 +102,7 @@ __all__ = [
     "default_stages",
     "merge_event_timelines",
     "merge_run_stats",
+    "parallel_stages",
     "per_stream_depths",
     "resolve_scheduler",
 ]

@@ -1,0 +1,219 @@
+"""The intra-partition parallel probe plane: pooled same-pattern probe
+columns over epoch-tagged read-only index snapshots.
+
+``PartitionedEngine`` parallelizes *across* hash partitions; this stage
+parallelizes *inside* one: the hop's probe column (the batch plane's
+same-pattern chunks) fans out to a persistent worker pool, each worker
+probing a :class:`~repro.storage.snapshot.StoreSnapshot` — a frozen,
+epoch-tagged view of the store's dual structures (active index plus any
+draining migration structure, captured by reference).  The multicore
+stream-join literature (PAPERS.md) calls this the dominant win: many
+concurrent readers over one shared window index.
+
+Determinism and bit-identity come from three properties, none of them
+accidental:
+
+- **Workers never touch shared mutable state.**  Each chunk probes
+  shallow :meth:`~repro.indexes.base.StateIndex.snapshot_view` copies that
+  charge a private scratch accountant and tally probe heat privately; the
+  store, the tuner, and the result cache stay coordinator-only.
+- **Merges happen in submission order.**  The coordinator collects chunk
+  results in the order it submitted them (exactly like
+  ``merge_run_stats`` on the partition plane) and replays each scratch
+  accountant onto the live one, so counter totals — and therefore every
+  float the engine derives from them — are bit-identical to the serial
+  probe sequence (integer tallies commute between engine observation
+  points).
+- **Snapshots are epoch-guarded.**  Any store mutation bumps the epoch
+  and a stale snapshot refuses to probe; within the route/probe stage the
+  stores are read-only, so the guard never trips in the engine — it
+  exists so the invariant is enforced, not assumed.
+
+With ``lazy_index`` the workers probe the frozen crack tiers directly and
+bypass the coordinator's hot-result cache; the cache contract (a hit
+replays the miss's exact accountant delta) makes the bypass charge- and
+match-identical, leaving only ``crack_*`` telemetry (heat-driven
+promotion timing, cache hit counts) to differ — the same containment the
+lazy differential suite already pins.
+
+On a multi-core host the pool realizes near-linear probe-stage scaling;
+under a single core (or the GIL on pure-Python search paths) the same
+schedule degrades gracefully to serial speed, never to divergent results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.kernel.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchArrivalStage,
+    BatchExpiryStage,
+    BatchRouteProbeStage,
+)
+from repro.engine.kernel.context import EngineContext
+from repro.engine.kernel.scheduler import Scheduler
+from repro.engine.kernel.stages import (
+    ArrivalStage,
+    AuditStage,
+    ExpiryStage,
+    FaultStage,
+    MigrationStage,
+    ShedDegradeStage,
+    SloStage,
+    Stage,
+    TuningStage,
+)
+from repro.engine.tuples import JoinedTuple, StreamTuple
+
+#: Default pool width; the acceptance benchmark's scaling point.
+DEFAULT_PROBE_WORKERS = 4
+
+
+class ParallelProbeStage(BatchRouteProbeStage):
+    """The pooled probe plane: batched hops fan out to worker threads.
+
+    Inherits the batch stage's hop structure (same-pattern probe columns,
+    the provably-unreachable ``max_fanout`` guard, serial fallback loop)
+    and replaces only the column execution: chunks of ``batch_size`` rows
+    go to a persistent pool of ``probe_workers`` threads, each probing a
+    read-only store snapshot, merged deterministically in submission
+    order.  ``probe_workers=1`` defers to the batch plane wholesale (one
+    worker has nothing to fan out) and is therefore bit-identical to it —
+    and, transitively, to serial — including ``crack_*`` telemetry.
+    """
+
+    name = "route_probe"
+
+    def __init__(
+        self,
+        scheduler: Scheduler | str | None = None,
+        batch_size: int | None = None,
+        probe_workers: int = DEFAULT_PROBE_WORKERS,
+    ) -> None:
+        super().__init__(
+            scheduler, DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+        )
+        if not isinstance(probe_workers, int) or isinstance(probe_workers, bool):
+            raise TypeError(f"probe_workers must be an int, got {probe_workers!r}")
+        if probe_workers < 1:
+            raise ValueError(f"probe_workers must be >= 1, got {probe_workers}")
+        self.probe_workers = probe_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The persistent worker pool, created on first pooled hop."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.probe_workers, thread_name_prefix="probe-worker"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later hop re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the pooled hop
+
+    def _probe_hop_batched(
+        self,
+        ctx: EngineContext,
+        item: StreamTuple,
+        stem,
+        target: str,
+        ap,
+        bindings,
+        partials: list[JoinedTuple],
+        next_partials: list[JoinedTuple],
+        anchor_at: int,
+        anchor_stream: str,
+        m,
+        observe_content,
+    ) -> None:
+        """One route hop: snapshot once, fan chunks out, merge in order."""
+        if self.probe_workers == 1:
+            super()._probe_hop_batched(
+                ctx, item, stem, target, ap, bindings,
+                partials, next_partials, anchor_at, anchor_stream,
+                m, observe_content,
+            )
+            return
+        probe_values = ctx.query.probe_values
+        size = self.batch_size
+        chunks = [partials[start : start + size] for start in range(0, len(partials), size)]
+        columns = [[probe_values(bindings, partial) for partial in chunk] for chunk in chunks]
+        # One snapshot per hop: the store is read-only for the hop's whole
+        # duration, so every chunk probes the same frozen epoch.
+        snapshot = stem.snapshot()
+        if len(columns) == 1:
+            # A single chunk gains nothing from a thread handoff; run it
+            # inline through the identical snapshot path.
+            results = [snapshot.probe_chunk(ap, columns[0])]
+        else:
+            pool = self._ensure_pool()
+            futures = [pool.submit(snapshot.probe_chunk, ap, column) for column in columns]
+            results = [future.result() for future in futures]
+        observe = stem.tuner.observe
+        for chunk, result in zip(chunks, results):
+            # Replay on the coordinator, chunk by chunk in submission
+            # order: assessor observations (the only RNG consumers — one
+            # per row, exactly as serial), then the scratch accountant and
+            # harvested heat, then the per-partial bookkeeping.
+            for _ in chunk:
+                observe(ap)
+            snapshot.absorb(result)
+            for partial, outcome in zip(chunk, result.outcomes):
+                ctx.stats.probes += 1
+                matches = [
+                    m2
+                    for m2 in outcome.matches
+                    if m2.arrived_at < anchor_at
+                    or (m2.arrived_at == anchor_at and m2.stream < anchor_stream)
+                ]
+                self._record_probe(
+                    ctx, m, item, stem, target, ap, matches, observe_content
+                )
+                for match in matches:
+                    next_partials.append(partial.extend(match))
+
+
+def parallel_stages(
+    scheduler: Scheduler | str | None = None,
+    batch_size: int | None = None,
+    probe_workers: int = DEFAULT_PROBE_WORKERS,
+) -> tuple[Stage, ...]:
+    """The canonical pipeline with the parallel probe plane spliced in.
+
+    Same nine phases in the same order as
+    :func:`~repro.engine.kernel.kernel.default_stages`.  With
+    ``batch_size=None`` the arrival/expiry stages stay serial and the probe
+    stage chunks its columns at :data:`DEFAULT_BATCH_SIZE`; an explicit
+    ``batch_size`` composes the full batch data plane with the pool.  Runs
+    are bit-identical to the serial pipeline at every width (``crack_*``
+    telemetry excepted under ``lazy_index``, as documented on
+    :class:`ParallelProbeStage`).
+    """
+    route = ParallelProbeStage(scheduler, batch_size, probe_workers)
+    if batch_size is None:
+        head: tuple[Stage, ...] = (ArrivalStage(), ExpiryStage())
+    else:
+        head = (BatchArrivalStage(), BatchExpiryStage())
+    return (
+        *head,
+        route,
+        FaultStage(),
+        TuningStage(),
+        MigrationStage(),
+        SloStage(route.scheduler),
+        ShedDegradeStage(),
+        AuditStage(),
+    )

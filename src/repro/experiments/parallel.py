@@ -86,6 +86,7 @@ class RunSpec:
     slo: str | None = None  # SLO spec string, e.g. "p95<=8@120" (arms latency tracking)
     scheduler: str | None = None  # backlog-drain policy name (None = fifo)
     batch_size: int | None = None  # batched data plane width (None = serial)
+    probe_workers: int | None = None  # parallel probe plane pool width (None = off)
     partitions: int = 1  # independent hash-partitioned kernels per run
     fleet: int = 1  # divergent replicas with cost-routed probes (1 = single engine)
     index_backend: str | None = None  # registry backend override (None = scheme default)
@@ -206,6 +207,7 @@ def _run_partition(spec: RunSpec, index: int) -> _PartitionResult:
         slo=monitor,
         scheduler=spec.scheduler,
         batch_size=spec.batch_size,
+        probe_workers=spec.probe_workers,
         index_backend=spec.index_backend,
         migration_budget=spec.migration_budget,
         lazy_index=spec.lazy_index,
@@ -286,6 +288,7 @@ def execute_spec_fleet(spec: RunSpec) -> RunOutcome:
         latency=(lambda: _slo_attachments(spec)[0]) if spec.slo else None,
         scheduler=spec.scheduler,
         batch_size=spec.batch_size,
+        probe_workers=spec.probe_workers,
         index_backend=spec.index_backend,
         migration_budget=spec.migration_budget,
         lazy_index=spec.lazy_index,
@@ -347,6 +350,7 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         slo=monitor,
         scheduler=spec.scheduler,
         batch_size=spec.batch_size,
+        probe_workers=spec.probe_workers,
         index_backend=spec.index_backend,
         migration_budget=spec.migration_budget,
         lazy_index=spec.lazy_index,

@@ -214,6 +214,15 @@ def main(argv: list[str] | None = None) -> int:
         "default: serial per-tuple pipeline; results are bit-identical)",
     )
     parser.add_argument(
+        "--probe-workers",
+        type=int,
+        default=None,
+        help="worker threads for the intra-partition parallel probe plane "
+        "(probe columns fan out over epoch-tagged read-only index "
+        "snapshots; default: no pool; results are bit-identical; "
+        "composes with --batch-size, --partitions, and --fleet)",
+    )
+    parser.add_argument(
         "--index-backend",
         default=None,
         help="override every state's physical index with a registered backend "
@@ -297,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--migration-budget must be >= 1, got {args.migration_budget}")
     if args.batch_size is not None and args.batch_size < 1:
         parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.probe_workers is not None and args.probe_workers < 1:
+        parser.error(f"--probe-workers must be >= 1, got {args.probe_workers}")
     slo_spec = None
     if args.slo is not None:
         try:
@@ -346,6 +357,7 @@ def main(argv: list[str] | None = None) -> int:
                 slo=(lambda: SloMonitor(slo_spec)) if slo_spec is not None else None,
                 scheduler=args.scheduler,
                 batch_size=args.batch_size,
+                probe_workers=args.probe_workers,
                 index_backend=args.index_backend,
                 migration_budget=args.migration_budget,
                 lazy_index=args.lazy_index,
@@ -390,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
                 slo=(lambda: SloMonitor(slo_spec)) if slo_spec is not None else None,
                 scheduler=args.scheduler,
                 batch_size=args.batch_size,
+                probe_workers=args.probe_workers,
                 index_backend=args.index_backend,
                 migration_budget=args.migration_budget,
                 lazy_index=args.lazy_index,
@@ -428,6 +441,7 @@ def main(argv: list[str] | None = None) -> int:
             slo=monitor,
             scheduler=args.scheduler,
             batch_size=args.batch_size,
+            probe_workers=args.probe_workers,
             index_backend=args.index_backend,
             migration_budget=args.migration_budget,
             lazy_index=args.lazy_index,

@@ -1,0 +1,142 @@
+"""Epoch-tagged read-only store snapshots for the parallel probe plane.
+
+A :class:`StoreSnapshot` freezes what one probe column needs from a
+:class:`~repro.storage.store.StateStore`: the active index, the draining
+structure of an in-flight budgeted migration (the dual-structure trick —
+both are captured **by reference**, nothing is copied), and the store's
+*epoch* — a generation counter the store bumps on every mutation that
+could change what a probe observes (insert, expiry/eviction, migration
+begin/step, crack promotion/demotion, degrade-to-scan, retune).
+
+    capture ──▶ fresh (epoch matches) ──mutation──▶ stale (probe raises)
+
+Workers probe through per-chunk :meth:`StateIndex.snapshot_view` shallow
+views, so every accountant increment lands on a private scratch
+:class:`~repro.indexes.base.Accountant` and probe heat accrues privately;
+the coordinator replays both onto the live store — in submission order —
+via :meth:`StoreSnapshot.absorb`, which is what keeps a pooled run
+bit-identical to the serial one (the engine only observes accountant
+totals between observation points).
+
+A probe against a stale snapshot raises :class:`StaleSnapshotError`
+instead of returning silently-wrong results; the engine never trips this
+(stores are read-only for the whole route/probe stage) but the storage
+API enforces it for any other caller.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.access_pattern import AccessPattern
+from repro.indexes.base import Accountant, SearchOutcome, StateIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.store import StateStore
+
+
+class StaleSnapshotError(RuntimeError):
+    """A probe was issued through a snapshot whose store has since mutated."""
+
+
+@dataclass(slots=True)
+class ProbeChunkResult:
+    """One worker's output for one probe chunk.
+
+    Everything the coordinator needs to merge deterministically: the
+    per-row outcomes (in row order), the scratch accountant holding every
+    counter increment the chunk's searches charged, and the probe heat each
+    frozen structure accumulated (``None`` for heat-free structures or when
+    no structure was draining).
+    """
+
+    outcomes: list[SearchOutcome]
+    scratch: Accountant
+    heat: object  # active structure's harvested heat
+    draining_heat: object  # draining structure's harvested heat
+
+
+class StoreSnapshot:
+    """A read-only, epoch-tagged view of one store's index structure(s).
+
+    Capture is O(1): the snapshot holds references to the live structures
+    plus the epoch at capture time.  :meth:`probe_chunk` is safe to call
+    from any thread — each call builds private shallow views charging a
+    private scratch accountant, so concurrent chunks never contend on the
+    live accountant or heat tallies.
+    """
+
+    __slots__ = ("store", "epoch", "index", "draining")
+
+    def __init__(self, store: "StateStore") -> None:
+        self.store = store
+        self.epoch = store.epoch
+        self.index: StateIndex = store.index
+        self.draining: StateIndex | None = store.lifecycle.draining
+
+    @property
+    def stale(self) -> bool:
+        """True once the store has mutated past this snapshot's epoch."""
+        return self.store.epoch != self.epoch
+
+    def _check_fresh(self) -> None:
+        if self.store.epoch != self.epoch:
+            raise StaleSnapshotError(
+                f"snapshot of {self.store.stream!r} taken at epoch {self.epoch} "
+                f"is stale (store is at epoch {self.store.epoch})"
+            )
+
+    def probe_chunk(
+        self, ap: AccessPattern, values_list: list[Mapping[str, object]]
+    ) -> ProbeChunkResult:
+        """Execute one same-pattern probe column against the frozen structures.
+
+        Mirrors the eager ``StateStore.probe_batch`` plan exactly: the full
+        column runs against the draining structure first, then the active
+        one, and per-row outcomes merge pairwise (a stored tuple lives in
+        exactly one structure, so matches concatenate old-then-new).  All
+        charges land on the returned scratch accountant; nothing here
+        touches the live store, the tuner, or the result cache.
+        """
+        self._check_fresh()
+        from repro.storage.store import merge_outcomes
+
+        scratch = Accountant()
+        view = self.index.snapshot_view(scratch)
+        draining = self.draining
+        if draining is None:
+            outcomes = view.search_batch(ap, values_list)
+            return ProbeChunkResult(outcomes, scratch, view.harvest_heat(), None)
+        old_view = draining.snapshot_view(scratch)
+        old_outcomes = old_view.search_batch(ap, values_list)
+        new_outcomes = view.search_batch(ap, values_list)
+        outcomes = [merge_outcomes(o, n) for o, n in zip(old_outcomes, new_outcomes)]
+        return ProbeChunkResult(
+            outcomes, scratch, view.harvest_heat(), old_view.harvest_heat()
+        )
+
+    def absorb(self, result: ProbeChunkResult) -> None:
+        """Replay one chunk's scratch deltas onto the live store.
+
+        Counter-for-counter addition onto the shared live accountant plus a
+        heat fold into each captured structure.  Called by the coordinator
+        in chunk submission order, which makes the pooled accountant totals
+        bit-identical to the serial probe sequence (integer tallies commute
+        between engine observation points).
+        """
+        scratch = result.scratch
+        acct = self.index.accountant
+        acct.hashes += scratch.hashes
+        acct.comparisons += scratch.comparisons
+        acct.buckets_visited += scratch.buckets_visited
+        acct.tuples_examined += scratch.tuples_examined
+        acct.inserts += scratch.inserts
+        acct.deletes += scratch.deletes
+        acct.moves += scratch.moves
+        acct.index_bytes += scratch.index_bytes
+        if result.heat is not None:
+            self.index.fold_heat(result.heat)
+        if result.draining_heat is not None and self.draining is not None:
+            self.draining.fold_heat(result.draining_heat)

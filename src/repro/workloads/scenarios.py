@@ -326,6 +326,7 @@ class PaperScenario:
         slo=None,
         scheduler=None,
         batch_size: int | None = None,
+        probe_workers: int | None = None,
         index_backend: str | None = None,
         migration_budget: int | None = None,
         lazy_index: bool = False,
@@ -357,6 +358,11 @@ class PaperScenario:
         (:func:`~repro.engine.kernel.batched_stages`) at the given probe
         column width; ``None`` keeps the serial per-tuple pipeline.  Both
         produce bit-identical runs — only wall-clock differs.
+
+        ``probe_workers`` fans batched probe columns out to the
+        intra-partition parallel probe plane
+        (:func:`~repro.engine.kernel.parallel_stages`), composing with
+        ``batch_size``; ``None`` keeps the pool out of the pipeline.
 
         ``index_backend`` overrides each state's physical index with a
         named :data:`~repro.storage.BACKENDS` backend; ``migration_budget``
@@ -409,6 +415,7 @@ class PaperScenario:
             slo=slo,
             scheduler=scheduler,
             batch_size=batch_size,
+            probe_workers=probe_workers,
         )
 
 

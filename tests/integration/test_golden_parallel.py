@@ -1,0 +1,58 @@
+"""The parallel probe plane replays the committed golden corpus byte-identically.
+
+``test_golden_equivalence.py`` holds the serial pipeline to the corpus
+generated from the pre-kernel monolith; this suite replays the **same
+committed corpus** — never regenerated — through the intra-partition
+parallel probe plane at ``probe_workers=4``.  Passing means four worker
+threads probing epoch-tagged read-only snapshots reproduce the original
+monolith exactly: every RunStats counter, throughput-sample float, event,
+metric series, histogram bucket, and span id.
+
+The corpus file itself must stay untouched: a probe-pool change that needs
+new goldens is by definition not cost-transparent and must be fixed, not
+blessed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import CASES, run_case
+
+GOLDEN_PATH = Path(__file__).parent / "golden_equivalence.json.gz"
+
+#: 4 is the committed acceptance width; a small batch size splits hops
+#: into many chunks so the pool genuinely fans out on the corpus too.
+POOL_CONFIGS = (
+    dict(probe_workers=4),
+    dict(probe_workers=4, batch_size=2),
+)
+
+
+def _golden() -> dict:
+    if GOLDEN_PATH.exists():
+        return json.loads(gzip.decompress(GOLDEN_PATH.read_bytes()).decode())
+    return json.loads(GOLDEN_PATH.with_suffix("").read_text())
+
+
+def _diff_keys(golden: dict, fresh: dict) -> list[str]:
+    return [k for k in golden if golden[k] != fresh.get(k)]
+
+
+@pytest.mark.parametrize(
+    "overrides", POOL_CONFIGS, ids=lambda o: "-".join(f"{k}{v}" for k, v in o.items())
+)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_parallel_replay_matches_committed_corpus(case, overrides):
+    golden = _golden()
+    assert case.name in golden
+    fresh = run_case(case, **overrides)
+    expected = golden[case.name]
+    assert _diff_keys(expected, fresh) == [], (
+        f"{case.name} with {overrides}: sections differ: {_diff_keys(expected, fresh)}"
+    )
+    assert fresh == expected

@@ -1,0 +1,370 @@
+"""Parallel-vs-serial differential suite: the probe pool is bit-identical.
+
+The intra-partition parallel probe plane
+(:mod:`repro.engine.kernel.parallel_probe`) fans batched probe columns out
+to a persistent worker pool over epoch-tagged read-only index snapshots and
+merges the results deterministically in submission order.  The promise is
+the same one the batch plane makes: the *whole observable run* is unchanged
+— every join result, every float of ``cost_total`` and
+``meter.total_spent``, every event, every metrics series, histogram bucket,
+and span id.  This suite holds that promise five ways:
+
+- a deterministic matrix over **all five index backends** × worker counts
+  ``{1, 2, 4}`` × batch sizes comparing full run fingerprints against the
+  serial pipeline;
+- a vacuity guard proving probes really execute on pool threads (snapshot
+  ``probe_chunk`` observed on ``probe-worker-*`` threads);
+- a seeded property-based sweep (random scenario seeds × random fault
+  schedules × random worker counts) on random workloads;
+- a mid-migration case: a budgeted incremental migration leaves two live
+  structures draining across ticks, and worker-side probes must merge
+  old/new outcomes through the frozen dual-structure snapshot identically;
+- a lazy-admission matrix: with tiered cracking on, workers bypass the
+  coordinator's result cache, so only the lazy-only ``crack_*`` telemetry
+  may move — everything else must still match serial bit-for-bit
+  (the same filtered comparison ``test_lazy_differential.py`` uses).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.faults import FaultPlan
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.tracing import EventLog
+from repro.experiments.golden import (
+    events_fingerprint,
+    snapshot_fingerprint,
+    stats_fingerprint,
+)
+from repro.storage.snapshot import StoreSnapshot
+from repro.workloads.scenarios import PaperScenario, ScenarioParams
+
+#: scheme -> backend it exercises (all five registered index backends).
+SCHEMES = {
+    "amri:sria": "bit_address",
+    "static": "static_bitmap",
+    "hash:2": "multi_hash",
+    "inverted": "inverted",
+    "scan": "scan",
+}
+
+#: 1 delegates wholesale to the batch plane; 2 and 4 engage the pool.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Small sizes force multi-chunk hops (pool genuinely fans out); 64 is the
+#: default; 4096 exceeds every window so hops stay single-chunk.
+BATCH_SIZES = (1, 2, 64, 4096)
+
+TICKS = 12
+
+# Semantics-preserving perturbations (same plan as the batch suite),
+# including forced out-of-schedule migrations.
+FAULTS = FaultPlan(
+    burst_prob=0.08,
+    burst_factor=2,
+    burst_len=3,
+    stall_prob=0.06,
+    drop_prob=0.05,
+    delay_prob=0.05,
+    delay_ticks=2,
+    migrate_prob=0.08,
+    corrupt_prob=0.08,
+    corrupt_records=10,
+)
+
+
+def small_params(seed: int) -> ScenarioParams:
+    return ScenarioParams(
+        stream_names=("A", "B", "C"),
+        rate=2,
+        window=4,
+        phase_len=5,
+        domain=6,
+        bit_budget=16,
+        assess_interval=4,
+        capacity=1e12,
+        memory_budget=1 << 40,
+        seed=seed,
+    )
+
+
+def canonical_outputs(outputs) -> dict:
+    """Order/identity-independent multiset of emitted join results."""
+    counts: dict = {}
+    for joined in outputs:
+        key = frozenset(
+            (src.stream, src.arrived_at, tuple(sorted(src.items())))
+            for src in joined.sources
+        )
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def filtered_snapshot_fingerprint(snapshot) -> dict:
+    """The metrics fingerprint minus the lazy-only ``crack_*`` series."""
+    fp = snapshot_fingerprint(snapshot)
+    fp["series"] = [s for s in fp["series"] if not s["name"].startswith("crack_")]
+    return fp
+
+
+def run_fingerprint(seed: int, scheme: str, **overrides) -> dict:
+    """One full-observability run, reduced to a comparable fingerprint."""
+    scenario = PaperScenario(small_params(seed))
+    sink: list = []
+    log = EventLog()
+    registry = MetricsRegistry()
+    executor = scenario.make_executor(
+        scheme,
+        output_sink=sink.extend,
+        event_log=log,
+        metrics=registry,
+        **overrides,
+    )
+    stats = executor.run(TICKS, scenario.make_generator())
+    return {
+        "outputs": canonical_outputs(sink),
+        "stats": stats_fingerprint(stats),
+        "events": events_fingerprint(log),
+        "metrics": snapshot_fingerprint(registry.snapshot()),
+        "meter_total": executor.meter.total_spent,
+    }
+
+
+def assert_identical(serial: dict, parallel: dict, context: str) -> None:
+    """Component-wise equality with a readable failure location."""
+    for key in serial:
+        assert parallel[key] == serial[key], f"{context}: {key} diverged"
+
+
+# --------------------------------------------------------------------- #
+# deterministic matrix
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    """Serial fingerprints per scheme, computed once for the matrix."""
+    return {scheme: run_fingerprint(7, scheme) for scheme in SCHEMES}
+
+
+class TestBackendMatrix:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_parallel_matches_serial(self, serial_runs, scheme, workers):
+        parallel = run_fingerprint(7, scheme, probe_workers=workers)
+        assert_identical(
+            serial_runs[scheme],
+            parallel,
+            f"{scheme} ({SCHEMES[scheme]}) at probe_workers={workers}",
+        )
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_parallel_composes_with_batch_size(self, serial_runs, scheme, batch_size):
+        """4 workers × every batch width still reproduces the serial run —
+        small widths split hops into many chunks, so the merge order and
+        the per-chunk accountant replay are genuinely exercised."""
+        parallel = run_fingerprint(7, scheme, probe_workers=4, batch_size=batch_size)
+        assert_identical(
+            serial_runs[scheme],
+            parallel,
+            f"{scheme} ({SCHEMES[scheme]}) workers=4 batch_size={batch_size}",
+        )
+
+    def test_matrix_is_not_vacuous(self, serial_runs):
+        """The workload actually joins, probes, and spends."""
+        for scheme, fp in serial_runs.items():
+            assert fp["stats"]["probes"] > 0, scheme
+            assert fp["meter_total"] > 0, scheme
+        assert any(sum(fp["outputs"].values()) > 0 for fp in serial_runs.values())
+
+    def test_pool_threads_really_probe(self, monkeypatch):
+        """Snapshot probes genuinely execute on ``probe-worker-*`` threads
+        (the matrix would be vacuous if every hop stayed single-chunk and
+        ran inline on the coordinator)."""
+        seen: list[str] = []
+        original = StoreSnapshot.probe_chunk
+
+        def spying(self, ap, values_list):
+            seen.append(threading.current_thread().name)
+            return original(self, ap, values_list)
+
+        monkeypatch.setattr(StoreSnapshot, "probe_chunk", spying)
+        run_fingerprint(7, "amri:sria", probe_workers=4, batch_size=2)
+        assert seen, "no snapshot probes ran at all"
+        assert any(name.startswith("probe-worker") for name in seen)
+
+
+# --------------------------------------------------------------------- #
+# seeded property-based sweep
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    fault_seed=st.integers(0, 10_000),
+    workers=st.sampled_from(WORKER_COUNTS),
+)
+def test_random_workloads_bit_identical(seed, fault_seed, workers):
+    """Random scenario × random faults × random worker count: identical."""
+    for scheme in SCHEMES:
+        serial = run_fingerprint(seed, scheme, faults=FAULTS, fault_seed=fault_seed)
+        parallel = run_fingerprint(
+            seed,
+            scheme,
+            faults=FAULTS,
+            fault_seed=fault_seed,
+            probe_workers=workers,
+            batch_size=2,
+        )
+        assert_identical(
+            serial, parallel, f"seed={seed} faults={fault_seed} {scheme} w={workers}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# mid-migration dual-structure draining
+
+
+#: Migration-heavy perturbations so a tiny per-tick budget reliably leaves
+#: a structure draining across tick boundaries within the short run.
+MIGRATE_FAULTS = FaultPlan(
+    burst_prob=0.08,
+    burst_factor=2,
+    burst_len=3,
+    stall_prob=0.06,
+    drop_prob=0.05,
+    delay_prob=0.05,
+    delay_ticks=2,
+    migrate_prob=0.3,
+    corrupt_prob=0.08,
+    corrupt_records=10,
+)
+
+
+class TestMidMigrationDraining:
+    """Probes while a budgeted migration drains hit both structures; the
+    snapshot freezes old *and* new by reference, and worker-side chunks
+    must merge their outcomes exactly as the serial coordinator does."""
+
+    OVERRIDES = dict(
+        faults=MIGRATE_FAULTS, fault_seed=0, migration_budget=2, assess_interval=4
+    )
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_fingerprint(3, "amri:cdia-highest", **self.OVERRIDES)
+
+    def test_drain_actually_spans_ticks(self, serial):
+        """At least one migration step left tuples behind (remaining > 0),
+        so later probes genuinely ran against two live structures."""
+        steps = [
+            dict(detail)
+            for _, kind, _, detail in serial["events"]
+            if kind == "migration_step"
+        ]
+        assert steps, "no incremental migration ran; the case is vacuous"
+        assert any(s["remaining"] > 0 for s in steps)
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    @pytest.mark.parametrize("batch_size", (2, 64))
+    def test_parallel_matches_serial_mid_drain(self, serial, workers, batch_size):
+        parallel = run_fingerprint(
+            3,
+            "amri:cdia-highest",
+            probe_workers=workers,
+            batch_size=batch_size,
+            **self.OVERRIDES,
+        )
+        assert_identical(
+            serial, parallel, f"mid-migration workers={workers} bs={batch_size}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# lazy-pending tiers: crack_* telemetry excepted, everything else holds
+
+
+class TestLazyPendingTiers:
+    """With tiered lazy admission on, worker chunks probe the frozen
+    pending/promoted crack tiers directly, bypassing the coordinator's
+    result cache.  The cache contract (a hit replays the miss's exact
+    accountant delta and aliases the same match list) makes the bypass
+    charge- and match-identical; only the lazy-only ``crack_*`` telemetry
+    (cache hit/miss counters, promotion timing) may move."""
+
+    @pytest.fixture(scope="class")
+    def serial_lazy(self):
+        return {
+            scheme: run_fingerprint(7, scheme, lazy_index=True) for scheme in SCHEMES
+        }
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_lazy_parallel_matches_serial_lazy(self, serial_lazy, scheme, workers):
+        parallel = run_fingerprint(
+            7, scheme, lazy_index=True, probe_workers=workers, batch_size=2
+        )
+        serial = serial_lazy[scheme]
+        context = f"{scheme} lazy workers={workers}"
+        for key in ("outputs", "stats", "events", "meter_total"):
+            assert parallel[key] == serial[key], f"{context}: {key} diverged"
+        assert filtered_snapshot_fingerprint_from(parallel) == (
+            filtered_snapshot_fingerprint_from(serial)
+        ), f"{context}: non-crack metrics diverged"
+
+    def test_lazy_runs_really_crack(self):
+        """The lazy matrix is not vacuously eager: tuples genuinely sit in
+        the pending tier and promotions happen under the pool."""
+        scenario = PaperScenario(small_params(7))
+        executor = scenario.make_executor(
+            "amri:sria", lazy_index=True, probe_workers=4, batch_size=2
+        )
+        executor.run(TICKS, scenario.make_generator())
+        telem = [stem.crack_telemetry() for stem in executor.stems.values()]
+        assert any(t["promotions"] > 0 or t["pending"] > 0 for t in telem)
+
+
+def filtered_snapshot_fingerprint_from(fp: dict) -> dict:
+    """Apply the crack_* series filter to an already-built fingerprint."""
+    metrics = dict(fp["metrics"])
+    metrics["series"] = [
+        s for s in metrics["series"] if not s["name"].startswith("crack_")
+    ]
+    return metrics
+
+
+# --------------------------------------------------------------------- #
+# seeded sweep: parallel lazy × {memory squeeze, forced migrations}
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    fault_seed=st.integers(0, 10_000),
+    faults=st.sampled_from(["memory", "tuning"]),
+)
+def test_parallel_lazy_under_faults_matches_serial_lazy(seed, fault_seed, faults):
+    """Same-tick crack promotions, budgeted drain steps, and memory-squeeze
+    demotions (driven by the fault profiles the lazy plane ships) never
+    leak through the snapshot plane: outputs, stats, events, and the
+    virtual-clock total match the serial lazy run; metrics match once the
+    lazy-only ``crack_*`` series are filtered."""
+    overrides = dict(
+        faults=faults, fault_seed=fault_seed, lazy_index=True, migration_budget=2
+    )
+    for scheme in ("amri:sria", "hash:2", "inverted"):
+        serial = run_fingerprint(seed, scheme, **overrides)
+        parallel = run_fingerprint(
+            seed, scheme, probe_workers=4, batch_size=2, **overrides
+        )
+        context = f"seed={seed} faults={faults}/{fault_seed} {scheme}"
+        for key in ("outputs", "stats", "events", "meter_total"):
+            assert parallel[key] == serial[key], f"{context}: {key} diverged"
+        assert filtered_snapshot_fingerprint_from(parallel) == (
+            filtered_snapshot_fingerprint_from(serial)
+        ), f"{context}: non-crack metrics diverged"

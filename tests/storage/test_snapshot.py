@@ -1,0 +1,285 @@
+"""Epoch-tagged store snapshots: capture, staleness, and delta replay.
+
+The snapshot contract (see :mod:`repro.storage.snapshot`): capture is O(1)
+and by-reference; probing through a snapshot touches only a private scratch
+accountant; and the snapshot refuses to probe — :class:`StaleSnapshotError`
+— once the store has mutated past the captured epoch.  The edge cases that
+matter are the *same-tick* mutations the engine's later stages perform
+after the probe stage captured its snapshots: crack promotions, budgeted
+migration drain steps, and memory-squeeze demotions must each invalidate
+outstanding snapshots, while a snapshot used *before* the mutation sees
+exactly the pre-mutation structures.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access_pattern import AccessPattern, JoinAttributeSet
+from repro.core.bit_index import make_bit_index
+from repro.core.index_config import IndexConfiguration
+from repro.engine.tuples import StreamTuple
+from repro.storage import CrackConfig, StaleSnapshotError, StateStore, StoreSnapshot
+
+
+def tup(t, a=1, b=2, c=3):
+    return StreamTuple("S", t, {"A": a, "B": b, "C": c})
+
+
+def acct_tuple(acct):
+    return (
+        acct.hashes,
+        acct.comparisons,
+        acct.buckets_visited,
+        acct.tuples_examined,
+        acct.inserts,
+        acct.deletes,
+        acct.moves,
+        acct.index_bytes,
+    )
+
+
+@pytest.fixture
+def ap_a(jas3):
+    return AccessPattern.from_attributes(jas3, ["A"])
+
+
+def make_store(jas3, *, crack=None, migration_budget=None, window=100):
+    return StateStore(
+        "S",
+        jas3,
+        make_bit_index(jas3, [2, 2, 2]),
+        window=window,
+        crack=crack,
+        migration_budget=migration_budget,
+    )
+
+
+def loaded_lazy_store(jas3, ap_a, n=12):
+    """A lazy store with heated pending buckets, ready to promote."""
+    store = make_store(jas3, crack=CrackConfig(promote_threshold=1.0))
+    for i in range(n):
+        store.insert(tup(i, a=i % 3), 0)
+    for v in (1, 1, 2):
+        store.probe(ap_a, {"A": v})
+    return store
+
+
+class TestCaptureAndFreshness:
+    def test_capture_is_by_reference_and_epoch_tagged(self, jas3):
+        store = make_store(jas3)
+        store.insert(tup(0), 0)
+        snap = store.snapshot()
+        assert isinstance(snap, StoreSnapshot)
+        assert snap.index is store.index
+        assert snap.draining is None
+        assert snap.epoch == store.epoch
+        assert not snap.stale
+
+    def test_fresh_snapshot_probes_like_the_store(self, jas3, ap_a):
+        store = make_store(jas3)
+        for i in range(8):
+            store.insert(tup(i, a=i % 3), 0)
+        snap = store.snapshot()
+        direct = store.probe(ap_a, {"A": 1})
+        result = snap.probe_chunk(ap_a, [{"A": 1}])
+        assert [m for m in result.outcomes[0].matches] == list(direct.matches)
+
+    def test_snapshot_probe_never_touches_the_live_accountant(self, jas3, ap_a):
+        store = make_store(jas3)
+        for i in range(8):
+            store.insert(tup(i, a=i % 3), 0)
+        before = acct_tuple(store.index.accountant)
+        result = store.snapshot().probe_chunk(ap_a, [{"A": 1}, {"A": 2}])
+        assert acct_tuple(store.index.accountant) == before
+        assert acct_tuple(result.scratch) != acct_tuple(type(result.scratch)())
+
+    def test_absorb_replays_the_exact_delta(self, jas3, ap_a):
+        """snapshot probe + absorb charges the live accountant exactly what
+        the store's own probe of the same column would have charged."""
+        mirror = make_store(jas3)
+        store = make_store(jas3)
+        for i in range(8):
+            for s in (store, mirror):
+                s.insert(tup(i, a=i % 3), 0)
+        before = acct_tuple(store.index.accountant)
+        snap = store.snapshot()
+        snap.absorb(snap.probe_chunk(ap_a, [{"A": 1}, {"A": 2}]))
+        delta = tuple(
+            a - b for a, b in zip(acct_tuple(store.index.accountant), before)
+        )
+        mirror_before = acct_tuple(mirror.index.accountant)
+        mirror.probe(ap_a, {"A": 1})
+        mirror.probe(ap_a, {"A": 2})
+        mirror_delta = tuple(
+            a - b for a, b in zip(acct_tuple(mirror.index.accountant), mirror_before)
+        )
+        assert delta == mirror_delta
+
+
+class TestInvalidationEdges:
+    """Every observable mutation must strand outstanding snapshots."""
+
+    def test_insert_invalidates(self, jas3, ap_a):
+        store = make_store(jas3)
+        snap = store.snapshot()
+        store.insert(tup(0), 0)
+        assert snap.stale
+        with pytest.raises(StaleSnapshotError, match="epoch"):
+            snap.probe_chunk(ap_a, [{"A": 1}])
+
+    def test_expiry_invalidates(self, jas3, ap_a):
+        store = make_store(jas3, window=2)
+        for i in range(3):
+            store.insert(tup(i), i)
+        snap = store.snapshot()
+        assert store.expire(100) > 0
+        assert snap.stale
+
+    def test_expiry_without_victims_keeps_snapshots_fresh(self, jas3):
+        store = make_store(jas3)
+        store.insert(tup(0), 0)
+        snap = store.snapshot()
+        assert store.expire(0) == 0
+        assert not snap.stale
+
+    def test_same_tick_crack_promotion_invalidates(self, jas3, ap_a):
+        """A snapshot taken before a crack promotion carries the
+        pre-mutation epoch: probing it afterwards refuses rather than
+        mixing tiers mid-re-tier."""
+        store = loaded_lazy_store(jas3, ap_a)
+        snap = store.snapshot()
+        pre = snap.epoch
+        assert store.crack_step() > 0, "promotion drive is vacuous"
+        assert snap.epoch == pre  # the tag is immutable...
+        assert store.epoch > pre  # ...the store moved past it
+        with pytest.raises(StaleSnapshotError):
+            snap.probe_chunk(ap_a, [{"A": 1}])
+
+    def test_same_tick_budgeted_drain_step_invalidates(self, jas3, ap_a):
+        store = make_store(jas3, migration_budget=2)
+        for i in range(10):
+            store.insert(tup(i, a=i % 3), 0)
+        store.lifecycle.begin(IndexConfiguration(jas3, [0, 2, 2]))
+        assert store.migration_active
+        snap = store.snapshot()
+        assert snap.draining is not None  # dual structure frozen by reference
+        step = store.migration_step()
+        assert step is not None and step.moved > 0, "drain step is vacuous"
+        assert snap.stale
+        with pytest.raises(StaleSnapshotError):
+            snap.probe_chunk(ap_a, [{"A": 1}])
+
+    def test_same_tick_memory_squeeze_demotion_invalidates(self, jas3, ap_a):
+        store = loaded_lazy_store(jas3, ap_a)
+        assert store.crack_step() > 0
+        snap = store.snapshot()
+        assert store.demote_step() > 0, "demotion drive is vacuous"
+        assert snap.stale
+        with pytest.raises(StaleSnapshotError):
+            snap.probe_chunk(ap_a, [{"A": 1}])
+
+    def test_degrade_to_scan_invalidates(self, jas3):
+        store = make_store(jas3)
+        for i in range(4):
+            store.insert(tup(i), 0)
+        snap = store.snapshot()
+        store.degrade_to_scan()
+        assert snap.stale
+
+    def test_error_names_stream_and_epochs(self, jas3, ap_a):
+        store = make_store(jas3)
+        snap = store.snapshot()
+        store.insert(tup(0), 0)
+        with pytest.raises(StaleSnapshotError) as err:
+            snap.probe_chunk(ap_a, [{"A": 1}])
+        message = str(err.value)
+        assert "'S'" in message
+        assert str(snap.epoch) in message
+        assert str(store.epoch) in message
+
+
+class TestPreMutationReads:
+    """A snapshot used before the mutation sees the pre-mutation world."""
+
+    def test_snapshot_probes_pre_promotion_tiers(self, jas3, ap_a):
+        """Probe through the snapshot first, *then* promote: the results
+        must equal a store that never promoted (the frozen pending tier
+        answered), and the live store's post-promotion probe still agrees
+        — promotion is observationally pure re-tiering."""
+        store = loaded_lazy_store(jas3, ap_a)
+        twin = loaded_lazy_store(jas3, ap_a)
+        snap = store.snapshot()
+        frozen = snap.probe_chunk(ap_a, [{"A": 1}])
+        assert store.crack_step() > 0
+        assert list(frozen.outcomes[0].matches) == list(
+            twin.probe(ap_a, {"A": 1}).matches
+        )
+
+    def test_probe_itself_never_invalidates(self, jas3, ap_a):
+        """Reads are not mutations: store probes and snapshot probes can
+        interleave freely within a tick without stranding each other."""
+        store = make_store(jas3)
+        for i in range(8):
+            store.insert(tup(i, a=i % 3), 0)
+        snap = store.snapshot()
+        store.probe(ap_a, {"A": 1})
+        assert not snap.stale
+        snap.probe_chunk(ap_a, [{"A": 2}])
+        other = store.snapshot()
+        assert other.epoch == snap.epoch
+
+
+# --------------------------------------------------------------------- #
+# property sweep: staleness tracks observable mutations exactly
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.sampled_from(["insert", "probe", "crack", "demote", "expire"]),
+        min_size=1,
+        max_size=12,
+    ),
+    seed=st.integers(0, 1_000),
+)
+def test_staleness_tracks_observable_mutations(ops, seed):
+    """Random op interleavings: a snapshot goes stale iff some operation
+    after capture reported an observable change (insert, expiry with
+    victims, promotion/demotion with movement) — probes alone never
+    invalidate, and fresh snapshots always still probe."""
+    jas = JoinAttributeSet(["A", "B", "C"])
+    ap = AccessPattern.from_attributes(jas, ["A"])
+    store = StateStore(
+        "S",
+        jas,
+        make_bit_index(jas, [2, 2, 2]),
+        window=100,
+        crack=CrackConfig(promote_threshold=1.0),
+    )
+    for i in range(8):
+        store.insert(tup(i, a=(seed + i) % 3), 0)
+    snap = store.snapshot()
+    mutated = False
+    now = 1
+    for op in ops:
+        if op == "insert":
+            store.insert(tup(100 + now, a=now % 3), now)
+            mutated = True
+        elif op == "probe":
+            store.probe(ap, {"A": now % 3})
+        elif op == "crack":
+            mutated |= store.crack_step() > 0
+        elif op == "demote":
+            mutated |= store.demote_step() > 0
+        elif op == "expire":
+            mutated |= store.expire(now) > 0
+        now += 1
+    assert snap.stale == mutated
+    if mutated:
+        with pytest.raises(StaleSnapshotError):
+            snap.probe_chunk(ap, [{"A": 1}])
+    else:
+        snap.probe_chunk(ap, [{"A": 1}])

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.indexes",
     "repro.storage",
     "repro.engine",
+    "repro.engine.kernel",
     "repro.fleet",
     "repro.workloads",
     "repro.experiments",
